@@ -1,0 +1,5 @@
+"""The two historic MXS performance bugs, injected and measured (Sec. 3.1.2)."""
+
+
+def test_bugs(experiment):
+    experiment("bugs")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig1 (see repro.harness.experiments)."""
+
+
+def test_fig1(experiment):
+    experiment("fig1")

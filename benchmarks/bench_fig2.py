@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig2 (see repro.harness.experiments)."""
+
+
+def test_fig2(experiment):
+    experiment("fig2")

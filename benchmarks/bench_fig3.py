@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig3 (see repro.harness.experiments)."""
+
+
+def test_fig3(experiment):
+    experiment("fig3")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig4 (see repro.harness.experiments)."""
+
+
+def test_fig4(experiment):
+    experiment("fig4")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig5 (see repro.harness.experiments)."""
+
+
+def test_fig5(experiment):
+    experiment("fig5")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig6 (see repro.harness.experiments)."""
+
+
+def test_fig6(experiment):
+    experiment("fig6")

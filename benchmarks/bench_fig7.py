@@ -1,0 +1,5 @@
+"""Regenerate the paper's fig7 (see repro.harness.experiments)."""
+
+
+def test_fig7(experiment):
+    experiment("fig7")

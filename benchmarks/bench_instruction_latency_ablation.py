@@ -1,0 +1,5 @@
+"""Adding 5-cycle muls / 19-cycle divides to Mipsy (Sec. 3.1.3)."""
+
+
+def test_instr_latency(experiment):
+    experiment("instr_latency")

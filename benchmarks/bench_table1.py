@@ -1,0 +1,5 @@
+"""Regenerate the paper's table1 (see repro.harness.experiments)."""
+
+
+def test_table1(experiment):
+    experiment("table1")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's table2 (see repro.harness.experiments)."""
+
+
+def test_table2(experiment):
+    experiment("table2")

@@ -1,0 +1,5 @@
+"""Regenerate the paper's table3 (see repro.harness.experiments)."""
+
+
+def test_table3(experiment):
+    experiment("table3")

@@ -1,0 +1,5 @@
+"""Application-level TLB fixes measured on the hardware (Sec. 3.1.2)."""
+
+
+def test_tlb_blocking(experiment):
+    experiment("tlb_blocking")

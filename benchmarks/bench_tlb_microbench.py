@@ -1,0 +1,5 @@
+"""TLB refill costs: hardware 65 cycles vs Mipsy 25 / MXS 35 (Sec. 3.1.2)."""
+
+
+def test_tlb_microbench(experiment):
+    experiment("tlb_microbench")

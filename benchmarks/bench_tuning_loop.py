@@ -1,0 +1,5 @@
+"""The calibration loop end to end (Sec. 3.1.2's tuning procedure)."""
+
+
+def test_tuning_loop(experiment):
+    experiment("tuning_loop")

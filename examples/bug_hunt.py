@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Hunting performance bugs with a reference platform.
+
+Re-enacts Section 3.1.2's bug stories: inject MXS's two historic defects
+and show why each survived so long -- the fast-issue bug produces
+*believable* numbers (a quiet ~10% optimism on a real application), and
+the CACHE-instruction bug hides whenever enough other work surrounds each
+stall.  Against the gold standard, both jump out immediately.
+"""
+
+from repro import hardware_config, make_app, run_workload, simos_mxs
+from repro.validation import CACHEOP_BUG, CacheFlushWorkload, FAST_ISSUE_BUG, demonstrate_bug
+
+
+def main() -> None:
+    mxs = simos_mxs(tuned=True)
+
+    print("-- fast-issue pipeline bug on FFT --")
+    demo = demonstrate_bug(FAST_ISSUE_BUG, mxs, make_app("fft"))
+    print(demo.format())
+    hw = run_workload(hardware_config(), make_app("fft"))
+    clean_rel = demo.clean_ps / hw.parallel_ps
+    buggy_rel = demo.buggy_ps / hw.parallel_ps
+    print(f"vs hardware: clean {clean_rel:.2f}, buggy {buggy_rel:.2f} -- the"
+          "\nbuggy number still looks plausible; only the reference run says"
+          "\nwhich is right.\n")
+
+    print("-- CACHE-instruction retry bug --")
+    for compute_reps, label in ((400, "flush-heavy kernel"),
+                                (2_000_000, "flushes amortised in compute")):
+        workload = CacheFlushWorkload(compute_reps=compute_reps)
+        demo = demonstrate_bug(CACHEOP_BUG, mxs, workload)
+        print(f"{label}: {demo.distortion:+.1%} distortion")
+    print("\nWith enough surrounding work the million-cycle stalls drop under"
+          "\nthe noise floor -- exactly how the bug went unnoticed for months.")
+
+
+if __name__ == "__main__":
+    main()

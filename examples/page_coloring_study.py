@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Page coloring: how the OS's frame allocator bends your results.
+
+Runs the Ocean kernel on machines that differ *only* in physical page
+allocation policy -- IRIX-style virtual-address coloring, Solo's
+sequential first-touch, and a random-color ablation -- at one and four
+processors.  This is the Section 3.1.2 Ocean story: on a uniprocessor,
+Solo's allocator lines the grids up in the physically indexed L2 and the
+secondary-cache miss rate explodes; with four first-touch nodes the
+accident disappears.
+"""
+
+import dataclasses
+
+from repro import run_workload, simos_mipsy
+from repro.validation.report import kv_table
+from repro.workloads import OceanWorkload
+
+
+def config_with_allocator(kind: str):
+    base = simos_mipsy(225, tuned=True)
+    os_model = dataclasses.replace(base.os_model, allocator_kind=kind,
+                                   name=f"os+{kind}")
+    return dataclasses.replace(base, name=f"{base.name}+{kind}",
+                               os_model=os_model)
+
+
+def main() -> None:
+    rows = []
+    for n_cpus in (1, 4):
+        for kind in ("irix", "solo", "random"):
+            workload = OceanWorkload()
+            result = run_workload(config_with_allocator(kind), workload,
+                                  n_cpus)
+            l2_misses = result.stat_total(".misses") and sum(
+                v for k, v in result.stats.items()
+                if k.startswith("l2") and k.endswith(".misses"))
+            rows.append([kind, str(n_cpus),
+                         f"{result.parallel_ns / 1e6:.2f}",
+                         f"{l2_misses:.0f}"])
+    print(kv_table(
+        "Ocean under different page allocators (SimOS-Mipsy-225, same layout)",
+        rows, ["allocator", "CPUs", "parallel ms", "L2 misses"]))
+    print("\nSequential allocation only hurts the uniprocessor run: parallel"
+          "\nfirst-touch interleaves the grids' bands and the colors"
+          "\ndecorrelate -- accidentally, which is exactly the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

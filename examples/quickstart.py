@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Quickstart: how well does a simulator predict "hardware" performance?
+
+Runs the FFT kernel on the gold-standard hardware configuration and on two
+simulators from the paper's line-up (the workhorse SimOS-Mipsy at a scaled
+225 MHz clock, and the detailed out-of-order SimOS-MXS), then reports
+relative execution time -- the paper's headline metric (1.0 = perfect).
+"""
+
+from repro import hardware_config, make_app, run_workload, simos_mipsy, simos_mxs
+
+
+def main() -> None:
+    workload = make_app("fft")
+    print(f"workload: {workload.name} ({workload.problem_description()})")
+
+    hw = run_workload(hardware_config(), workload)
+    print(f"hardware: parallel section {hw.parallel_ns / 1e6:.3f} ms")
+
+    for config in (simos_mipsy(225, tuned=True), simos_mxs(tuned=True)):
+        sim = run_workload(config, workload)
+        rel = sim.parallel_ps / hw.parallel_ps
+        verdict = "over-predicts" if rel > 1 else "under-predicts"
+        print(f"{config.name}: {sim.parallel_ns / 1e6:.3f} ms "
+              f"-> relative time {rel:.2f} ({verdict} by {abs(1 - rel):.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Trend prediction: can simulators get the *speedup curve* right?
+
+Reproduces the Figure 5 methodology on FFT: the hardware stand-in versus
+the detailed MXS model and the scaled-clock Mipsy models.  The punchline
+from the paper: the 300 MHz Mipsy -- a perfectly reasonable way to
+approximate ILP -- issues memory requests faster than the real processor
+and manufactures contention at 16 CPUs that the hardware never sees.
+"""
+
+from repro import hardware_config, make_app, simos_mipsy, simos_mxs, speedup_study
+from repro.validation.report import line_chart
+
+
+def main() -> None:
+    configs = [
+        hardware_config(),
+        simos_mxs(tuned=True),
+        simos_mipsy(225, tuned=True),
+        simos_mipsy(300, tuned=True),
+    ]
+    workload = make_app("fft")
+    study = speedup_study(configs, workload, cpu_counts=(1, 2, 4, 8, 16))
+    print(study.format())
+    print()
+    print(line_chart(
+        "FFT speedup (note the 300 MHz curve sagging at 16 CPUs)",
+        sorted(study.curves[0].times_ps),
+        {c.config: c.speedups for c in study.curves},
+    ))
+    print()
+    for name, error in study.trend_errors("hardware").items():
+        print(f"trend error vs hardware: {name}: {error:.0%}")
+
+
+if __name__ == "__main__":
+    main()

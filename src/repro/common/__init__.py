@@ -1,0 +1,46 @@
+"""Shared utilities: units, stats, configuration, deterministic RNG."""
+
+from repro.common.config import (
+    PAPER_SCALE,
+    REPRO_SCALE,
+    TINY_SCALE,
+    CacheGeometry,
+    MachineScale,
+    TlbGeometry,
+    get_scale,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TuningError,
+    WorkloadError,
+)
+from repro.common.rng import derive_rng
+from repro.common.stats import CounterSet, StatsRegistry
+from repro.common.units import Clock, ns_to_ps, ps_to_ns
+
+__all__ = [
+    "PAPER_SCALE",
+    "REPRO_SCALE",
+    "TINY_SCALE",
+    "CacheGeometry",
+    "MachineScale",
+    "TlbGeometry",
+    "get_scale",
+    "ConfigurationError",
+    "DeadlockError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "TuningError",
+    "WorkloadError",
+    "derive_rng",
+    "CounterSet",
+    "StatsRegistry",
+    "Clock",
+    "ns_to_ps",
+    "ps_to_ns",
+]

@@ -1,0 +1,129 @@
+"""Core base class: the per-CPU discrete-event process.
+
+A core executes its trace as a DES process.  Between memory-system events
+it advances a *local* cycle counter without touching the event queue (the
+trick that keeps pure-Python simulation fast); it re-synchronises with
+global time at every blocking miss, barrier, and lock.  The residual clock
+skew is bounded by one chunk repetition and is part of the documented
+modelling error budget (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.stats import CounterSet, StatsRegistry
+from repro.cpu.base import CoreParams
+from repro.cpu.interface import CpuMemInterface
+from repro.isa.trace import (
+    Barrier,
+    ChunkExec,
+    LockAcq,
+    LockRel,
+    PhaseMark,
+    SyscallOp,
+)
+from repro.os.base import OsModel
+
+
+class CpuCore:
+    """Base processor model; subclasses implement ``_exec_chunk``."""
+
+    model_name = "base"
+
+    def __init__(self, env, node: int, params: CoreParams,
+                 iface: Optional[CpuMemInterface], os_model: OsModel,
+                 registry: Optional[StatsRegistry] = None):
+        registry = registry or StatsRegistry()
+        self.env = env
+        self.node = node
+        self.params = params
+        self.iface = iface
+        self.os_model = os_model
+        self.stats = registry.counter_set(f"cpu{node}")
+        self.cycle_ps = params.clock.cycle_ps
+        self.cycles = 0.0
+        self._start_ps = 0
+        #: (phase name, begin?, absolute ps) marks, consumed by RunResult.
+        self.phase_marks: List[Tuple[str, bool, int]] = []
+
+    # -- time bookkeeping ----------------------------------------------------
+
+    def start_at(self, ps: int) -> None:
+        self._start_ps = ps
+        self.cycles = 0.0
+
+    def time_ps(self) -> int:
+        return self._start_ps + int(self.cycles * self.cycle_ps)
+
+    def cycles_at(self, ps: int) -> float:
+        return (ps - self._start_ps) / self.cycle_ps
+
+    def _sync_to_local_time(self):
+        """Advance the engine to this core's local time (if it is ahead)."""
+        t = self.time_ps()
+        if t > self.env.now:
+            yield self.env.timeout(t - self.env.now)
+
+    def _catch_up_to_engine(self) -> None:
+        """After a global wait, jump the local clock to engine time."""
+        now_cycles = self.cycles_at(self.env.now)
+        if now_cycles > self.cycles:
+            self.cycles = now_cycles
+
+    # -- trace execution -------------------------------------------------------
+
+    def run_trace(self, trace, sync):
+        """The DES process body: execute every trace item in order."""
+        for item in trace:
+            kind = type(item)
+            if kind is ChunkExec:
+                yield from self._exec_chunk(item)
+            elif kind is Barrier:
+                yield from self._drain_writes()
+                yield from self._sync_to_local_time()
+                yield sync.barrier_arrive(item.bid, self.node)
+                self._catch_up_to_engine()
+                self.stats.add("barriers")
+            elif kind is LockAcq:
+                yield from self._sync_to_local_time()
+                yield sync.lock_acquire(item.lid)
+                self._catch_up_to_engine()
+                self.stats.add("lock_acquires")
+            elif kind is LockRel:
+                yield from self._sync_to_local_time()
+                sync.lock_release(item.lid)
+            elif kind is PhaseMark:
+                self.phase_marks.append((item.name, item.begin, self.time_ps()))
+            elif kind is SyscallOp:
+                self.cycles += self.os_model.syscall_cost(item.service)
+                self.stats.add("syscalls")
+            else:
+                raise SimulationError(f"unknown trace item {item!r}")
+        yield from self._drain_writes()
+        self.stats.set("final_cycles", self.cycles)
+
+    def _drain_writes(self):
+        """Wait out the write buffer (stores must be globally visible at
+        synchronisation points)."""
+        if self.iface is None:
+            return
+        wb = self.iface.write_buffer
+        wb.reap()
+        pending = wb.pending_events()
+        if pending:
+            yield from self._sync_to_local_time()
+            yield self.env.all_of(pending)
+            self._catch_up_to_engine()
+            wb.reap()
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _exec_chunk(self, ce: ChunkExec):
+        raise NotImplementedError
+
+    def _charge_os_tick(self, chunk_cycles: float) -> None:
+        factor = self.os_model.tick_overhead_factor
+        if factor:
+            self.cycles += chunk_cycles * factor

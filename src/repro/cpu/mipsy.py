@@ -1,0 +1,123 @@
+"""Mipsy: the single-issue in-order processor model.
+
+"Mipsy models a single-issue, in-order MIPS processor.  Pipeline effects
+and functional unit latencies are not simulated, so the Mipsy processor
+executes one instruction per cycle in the absence of memory stalls.  Mipsy
+has blocking reads, but supports both prefetching and a write buffer."
+(Section 2.2.)
+
+The scaled-clock methodology (Section 2.3) -- running Mipsy at 225 or
+300 MHz so its memory request *rate* approximates what an ILP processor
+achieves -- is expressed simply by constructing it with a faster clock.
+
+The instruction-latency ablation of Section 3.1.3 (add 5 cycles per
+integer multiply, 19 per divide) is the ``model_instruction_latencies``
+switch: it swaps the unit-latency table for the R10000 table in the
+in-order schedule.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CpuCore
+from repro.cpu.interface import HIT, L2_HIT, MISS, NOOP, PENDING
+from repro.isa.opcodes import Op
+from repro.isa.schedule import schedule_inorder
+from repro.isa.trace import ChunkExec
+
+_LOAD = int(Op.LOAD)
+_STORE = int(Op.STORE)
+_PREFETCH = int(Op.PREFETCH)
+
+
+class MipsyCore(CpuCore):
+    """Blocking-read, one-IPC core with write buffer and prefetching."""
+
+    model_name = "mipsy"
+
+    def __init__(self, env, node, params, iface, os_model, registry=None):
+        super().__init__(env, node, params, iface, os_model, registry)
+        self._lat_table = params.latency_table()
+        self._lat_key = params.timing_key()
+
+    def _exec_chunk(self, ce: ChunkExec):
+        chunk = ce.chunk
+        iface = self.iface
+        sched = schedule_inorder(chunk, self._lat_table, self._lat_key)
+        per_rep = sched.steady_cycles
+        chunk_start_cycles = self.cycles
+        self.cycles += iface.fetch_cost_cycles(chunk)
+        self.stats.add("instructions", ce.n_instructions)
+
+        if chunk.n_mem == 0:
+            self.cycles += per_rep * ce.reps
+            self._charge_os_tick(self.cycles - chunk_start_cycles)
+            return
+
+        offsets = sched.mem_offsets.tolist()
+        kinds = chunk.mem_kind.tolist()
+        n_mem = chunk.n_mem
+        classify = iface.classify
+        issue_miss = iface.issue_miss
+        port_wait = iface.port_wait_cycles
+        tlb_refill = self.params.tlb_refill_cycles
+        l2_hit_cycles = self.params.l2_hit_cycles
+        wb = iface.write_buffer
+        env = self.env
+
+        for row in ce.addrs.tolist():
+            base = self.cycles
+            stall = 0.0
+            for j in range(n_mem):
+                op = kinds[j]
+                outcome, payload, kind, tlb_miss = classify(row[j], op)
+                if tlb_miss:
+                    stall += tlb_refill
+                    self.stats.add("tlb_refills")
+                if outcome == HIT or outcome == NOOP:
+                    continue
+                pt = base + offsets[j] + stall
+                if outcome == L2_HIT:
+                    stall += l2_hit_cycles + port_wait(pt)
+                    continue
+                if outcome == PENDING:
+                    # A prefetched (or otherwise in-flight) line: loads wait
+                    # out the remaining latency; that is how prefetching
+                    # hides read latency without removing the transaction.
+                    if op == _LOAD:
+                        done_ps = yield payload
+                        done_c = self.cycles_at(done_ps)
+                        if done_c > pt:
+                            stall = done_c - (base + offsets[j])
+                        iface.port_fill_at(max(done_c, pt))
+                    continue
+                # MISS
+                if op == _LOAD:
+                    # The tag check waits out any in-progress line transfer
+                    # (the secondary-cache interface occupancy effect).
+                    stall += port_wait(pt)
+                    pt = base + offsets[j] + stall
+                    # Blocking read: advance global time to the issue point,
+                    # launch the transaction, sleep until the data returns.
+                    self.cycles = pt
+                    yield from self._sync_to_local_time()
+                    event = issue_miss(payload, kind)
+                    done_ps = yield event
+                    done_c = self.cycles_at(done_ps)
+                    iface.port_fill_at(done_c)
+                    stall = done_c - (base + offsets[j])
+                    self.stats.add("load_miss_waits")
+                elif op == _STORE:
+                    wb.reap()
+                    if wb.full:
+                        done_ps = yield wb.oldest()
+                        wb.reap()
+                        wait = self.cycles_at(done_ps) - pt
+                        if wait > 0:
+                            stall += wait
+                        self.stats.add("wb_full_stalls")
+                    wb.add(issue_miss(payload, kind))
+                else:  # PREFETCH
+                    issue_miss(payload, kind)
+                    self.stats.add("prefetches_issued")
+            self.cycles = base + per_rep + stall
+        self._charge_os_tick(self.cycles - chunk_start_cycles)

@@ -1,0 +1,23 @@
+"""Experiment harness: one registered experiment per paper table/figure."""
+
+from repro.harness.experiments import experiment_ids, run_experiment
+from repro.harness.findings import ExperimentResult, Finding
+from repro.harness.runner import (
+    DEFAULT_ORDER,
+    main,
+    run_all,
+    summarize,
+    write_experiments_md,
+)
+
+__all__ = [
+    "experiment_ids",
+    "run_experiment",
+    "ExperimentResult",
+    "Finding",
+    "DEFAULT_ORDER",
+    "main",
+    "run_all",
+    "summarize",
+    "write_experiments_md",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.harness`` entry point."""
+
+import sys
+
+from repro.harness.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Findings: structured paper-vs-measured records.
+
+Every experiment reduces its raw data to a list of :class:`Finding` rows
+-- what the paper reports, what this reproduction measures, and whether
+the *shape* (direction / ordering / rough magnitude) holds.  EXPERIMENTS.md
+is generated from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Finding:
+    """One paper-vs-measured comparison."""
+
+    name: str
+    paper: str
+    measured: str
+    ok: bool
+    note: str = ""
+
+    def format(self) -> str:
+        mark = "OK " if self.ok else "!! "
+        note = f"  ({self.note})" if self.note else ""
+        return f"  [{mark}] {self.name}: paper {self.paper}; measured {self.measured}{note}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    rendered: str
+    findings: List[Finding] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    scale_name: str = ""
+
+    @property
+    def all_ok(self) -> bool:
+        return all(f.ok for f in self.findings)
+
+    def format(self) -> str:
+        lines = [f"=== {self.exp_id}: {self.title} "
+                 f"(scale={self.scale_name}, {self.wall_seconds:.1f}s) ==="]
+        lines.append(self.rendered)
+        if self.findings:
+            lines.append("paper vs measured:")
+            lines.extend(f.format() for f in self.findings)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"## {self.exp_id}: {self.title}",
+                 "",
+                 f"*Scale: `{self.scale_name}`, runtime {self.wall_seconds:.1f}s.*",
+                 "",
+                 "```text",
+                 self.rendered,
+                 "```",
+                 ""]
+        if self.findings:
+            lines.append("| check | paper | measured | shape holds |")
+            lines.append("|---|---|---|---|")
+            for f in self.findings:
+                ok = "yes" if f.ok else "**no**"
+                note = f" ({f.note})" if f.note else ""
+                lines.append(f"| {f.name} | {f.paper} | {f.measured}{note} | {ok} |")
+            lines.append("")
+        return "\n".join(lines)

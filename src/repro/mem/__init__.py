@@ -1,0 +1,27 @@
+"""Processor-side memory structures: caches, TLB, page table, write buffer."""
+
+from repro.mem.address import (
+    NODE_MEM_BYTES,
+    NODE_MEM_SHIFT,
+    bit_length_shift,
+    home_node,
+    node_base,
+)
+from repro.mem.cache import MODIFIED, SHARED, SetAssocCache
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import Tlb
+from repro.mem.write_buffer import WriteBuffer
+
+__all__ = [
+    "NODE_MEM_BYTES",
+    "NODE_MEM_SHIFT",
+    "bit_length_shift",
+    "home_node",
+    "node_base",
+    "MODIFIED",
+    "SHARED",
+    "SetAssocCache",
+    "PageTable",
+    "Tlb",
+    "WriteBuffer",
+]

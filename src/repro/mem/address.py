@@ -1,0 +1,33 @@
+"""Address arithmetic helpers.
+
+Physical memory is partitioned into equal per-node ranges: the home node of
+a physical address is simply ``paddr >> NODE_MEM_SHIFT``.  Page allocators
+(:mod:`repro.vm.allocators`) hand out frames inside a chosen node's range,
+which is how data placement (and the deliberately *unplaced* hotspot of the
+Figure 7 experiment) is expressed.
+"""
+
+from __future__ import annotations
+
+#: Bytes of physical memory per node (256 MiB -- far more than any scaled
+#: workload touches; the value only needs to be a power of two).
+NODE_MEM_BYTES = 1 << 28
+NODE_MEM_SHIFT = 28
+
+
+def bit_length_shift(value: int) -> int:
+    """log2 of a power of two, validated."""
+    shift = value.bit_length() - 1
+    if 1 << shift != value:
+        raise ValueError(f"{value} is not a power of two")
+    return shift
+
+
+def home_node(paddr: int) -> int:
+    """The node whose memory holds physical address *paddr*."""
+    return paddr >> NODE_MEM_SHIFT
+
+
+def node_base(node: int) -> int:
+    """First physical address of *node*'s memory range."""
+    return node << NODE_MEM_SHIFT

@@ -1,0 +1,46 @@
+"""Memory-system models: the DSM engine and its parameter sets.
+
+``FlashLite`` and ``NUMA`` are the two memory-system simulators of the
+paper; both are configurations of :class:`~repro.memsys.dsm.DsmMemorySystem`
+differing in whether controller occupancy and network contention are
+modelled, and in their parameter sets.
+"""
+
+from repro.memsys.dsm import DsmMemorySystem, MemKind
+from repro.memsys.params import (
+    DsmParams,
+    LOCAL_CLEAN,
+    LOCAL_DIRTY_REMOTE,
+    PARAM_SETS,
+    PROTOCOL_CASES,
+    REMOTE_CLEAN,
+    REMOTE_DIRTY_HOME,
+    REMOTE_DIRTY_REMOTE,
+    TABLE3_HARDWARE_NS,
+    TABLE3_UNTUNED_NS,
+    flashlite_tuned,
+    flashlite_untuned,
+    hardware,
+    numa,
+    predict_case_ps,
+)
+
+__all__ = [
+    "DsmMemorySystem",
+    "MemKind",
+    "DsmParams",
+    "LOCAL_CLEAN",
+    "LOCAL_DIRTY_REMOTE",
+    "PARAM_SETS",
+    "PROTOCOL_CASES",
+    "REMOTE_CLEAN",
+    "REMOTE_DIRTY_HOME",
+    "REMOTE_DIRTY_REMOTE",
+    "TABLE3_HARDWARE_NS",
+    "TABLE3_UNTUNED_NS",
+    "flashlite_tuned",
+    "flashlite_untuned",
+    "hardware",
+    "numa",
+    "predict_case_ps",
+]

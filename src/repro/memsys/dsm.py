@@ -1,0 +1,331 @@
+"""The distributed-shared-memory transaction engine.
+
+One engine serves as both of the paper's memory-system simulators:
+
+* **FlashLite** -- ``model_pp_occupancy`` and ``model_net_contention`` on:
+  every transaction queues for the MAGIC protocol processor at its home
+  (and at owners/sharers) and for router ports along its network path.
+* **NUMA** -- both off: the same protocol state machine (coherence must
+  still be *correct*) but controller handling and network hops become pure
+  latencies.  Memory (DRAM) contention is modelled in both, matching the
+  paper's description of the NUMA model.
+
+A transaction is a coroutine walking the five protocol read cases of
+Table 3 (plus writes, upgrades, and writebacks).  Racing transactions on
+the same line serialize on the directory entry's ``busy`` event, standing
+in for MAGIC's pending states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.stats import CounterSet, StatsRegistry
+from repro.engine import Engine
+from repro.mem.address import home_node
+from repro.mem.cache import MODIFIED, SHARED as CACHE_SHARED
+from repro.memsys.params import (
+    DsmParams,
+    LOCAL_CLEAN,
+    LOCAL_DIRTY_REMOTE,
+    REMOTE_CLEAN,
+    REMOTE_DIRTY_HOME,
+    REMOTE_DIRTY_REMOTE,
+)
+from repro.network.fabric import Network
+from repro.proto.directory import DIRTY, SHARED, UNOWNED
+from repro.proto.magic import MagicController
+
+
+class MemKind:
+    """Transaction kinds issued by the processor side."""
+
+    READ = "read"            #: load / instruction / shared prefetch miss
+    WRITE = "write"          #: store miss (read-exclusive)
+    UPGRADE = "upgrade"      #: store hit on a SHARED line
+    WRITEBACK = "writeback"  #: dirty eviction (fire-and-forget)
+
+    ALL = (READ, WRITE, UPGRADE, WRITEBACK)
+
+
+class DsmMemorySystem:
+    """Everything beyond the processor and its caches (like FlashLite)."""
+
+    def __init__(self, env: Engine, n_nodes: int, params: DsmParams,
+                 line_bytes: int, registry: Optional[StatsRegistry] = None):
+        self.env = env
+        self.n_nodes = n_nodes
+        self.params = params
+        self.line_shift = line_bytes.bit_length() - 1
+        if 1 << self.line_shift != line_bytes:
+            raise ConfigurationError("line_bytes must be a power of two")
+        registry = registry or StatsRegistry()
+        self.stats = registry.counter_set("memsys")
+        # Precomputed stat labels: transactions are the hottest path.
+        self._req_label = {kind: f"req_{kind}" for kind in MemKind.ALL}
+        self._case_label = {}
+        self._case_latency_label = {}
+        for case in (LOCAL_CLEAN, LOCAL_DIRTY_REMOTE, REMOTE_CLEAN,
+                     REMOTE_DIRTY_HOME, REMOTE_DIRTY_REMOTE):
+            self._case_label[case] = f"case_{case}"
+            self._case_latency_label[case] = f"latency_ps_{case}"
+        self.net = Network(env, n_nodes, params.net,
+                           model_contention=params.model_net_contention)
+        self.magic: List[MagicController] = [
+            MagicController(env, node, model_occupancy=params.model_pp_occupancy,
+                            pp_occ_fraction=params.pp_occ_fraction)
+            for node in range(n_nodes)
+        ]
+        self._hooks: Dict[int, object] = {}
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, node: int, hook) -> None:
+        """Register the processor-side hook of *node*.
+
+        The hook must provide ``l2_peek(line)``, ``l2_downgrade(line)``,
+        ``l2_invalidate(line)`` and ``l2_fill(line, state)``.
+        """
+        self._hooks[node] = hook
+
+    # -- public request API ------------------------------------------------
+
+    def request(self, node: int, paddr: int, kind: str):
+        """Start a transaction; the returned event fires with completion ps."""
+        if kind == MemKind.WRITEBACK:
+            return self.env.process(
+                self._writeback(node, paddr), name=f"wb@{node}"
+            )
+        return self.env.process(
+            self._transact(node, paddr, kind), name=f"{kind}@{node}"
+        )
+
+    # -- transaction body -----------------------------------------------------
+
+    def _transact(self, node: int, paddr: int, kind: str):
+        p = self.params
+        env = self.env
+        line = paddr >> self.line_shift
+        home = home_node(paddr)
+        start = env.now
+        self.stats.add(self._req_label[kind])
+
+        # Processor pins -> local MAGIC.
+        yield env.timeout(p.bus_ps)
+        if home != node:
+            yield self.magic[node].pp_busy(p.pp_out_ps, "out")
+            yield self.net.send(node, home, p.req_flits)
+
+        home_magic = self.magic[home]
+        entry = home_magic.directory.entry(line)
+        while entry.busy is not None:
+            self.stats.add("line_busy_waits")
+            yield entry.busy
+        entry.busy = env.event()
+        try:
+            yield home_magic.pp_busy(p.pp_home_ps, "home")
+            if kind == MemKind.UPGRADE:
+                case = yield from self._do_upgrade(node, home, line, entry)
+            elif entry.state == DIRTY and entry.owner != node:
+                case = yield from self._do_dirty(node, home, line, entry, kind)
+            else:
+                case = yield from self._do_clean(node, home, line, entry, kind)
+        finally:
+            busy, entry.busy = entry.busy, None
+            busy.succeed()
+
+        # Reply delivery at the requester MAGIC (remote replies and
+        # owner-forwarded data pass through it; a purely local memory reply
+        # does not).
+        if case != LOCAL_CLEAN:
+            yield self.magic[node].pp_busy(p.pp_reply_ps, "reply")
+        yield env.timeout(p.bus_ps)
+
+        latency = env.now - start
+        self.stats.add(self._case_label[case])
+        self.stats.add(self._case_latency_label[case], latency)
+        return env.now
+
+    def _do_clean(self, node: int, home: int, line: int, entry, kind: str):
+        """Directory UNOWNED/SHARED (or requester already owner): memory
+        supplies the data; writes invalidate sharers."""
+        p = self.params
+        env = self.env
+        home_magic = self.magic[home]
+        case = LOCAL_CLEAN if home == node else REMOTE_CLEAN
+        yield home_magic.pp_busy(max(0, p.pp_mem_ps + p.extra(case)), "mem")
+
+        inval_done = None
+        if kind == MemKind.WRITE and entry.state == SHARED:
+            others = [s for s in entry.sharers if s != node]
+            if others:
+                inval_done = env.all_of(
+                    [self._invalidate_sharer(home, s, line) for s in others]
+                )
+        yield home_magic.dram_access(p.dram_ps)
+        if inval_done is not None:
+            yield inval_done
+
+        if kind == MemKind.WRITE:
+            home_magic.directory.set_dirty(line, node)
+            fill_state = MODIFIED
+        else:
+            if entry.state == DIRTY:  # requester re-reads its own dirty line
+                home_magic.directory.clear(line)
+            home_magic.directory.add_sharer(line, node)
+            fill_state = CACHE_SHARED
+        if home != node:
+            yield self.net.send(home, node, p.data_flits)
+        self._fill(node, line, fill_state)
+        return case
+
+    def _do_dirty(self, node: int, home: int, line: int, entry, kind: str):
+        """Directory DIRTY at another node: intervene at the owner."""
+        p = self.params
+        env = self.env
+        home_magic = self.magic[home]
+        owner = entry.owner
+        if home == node:
+            case = LOCAL_DIRTY_REMOTE
+        elif owner == home:
+            case = REMOTE_DIRTY_HOME
+        else:
+            case = REMOTE_DIRTY_REMOTE
+        yield home_magic.pp_busy(max(0, p.pp_redirect_ps + p.extra(case)), "redirect")
+
+        hook = self._hooks[owner]
+        owner_state = hook.l2_peek(line)
+        if owner_state != MODIFIED:
+            # The owner's writeback is in flight: fall back to memory.
+            self.stats.add("race_to_memory")
+            yield home_magic.dram_access(p.dram_ps)
+            if kind == MemKind.WRITE:
+                home_magic.directory.set_dirty(line, node)
+                fill_state = MODIFIED
+            else:
+                home_magic.directory.clear(line)
+                home_magic.directory.add_sharer(line, node)
+                fill_state = CACHE_SHARED
+            if home != node:
+                yield self.net.send(home, node, p.data_flits)
+            self._fill(node, line, fill_state)
+            return case
+
+        if owner != home:
+            yield self.net.send(home, owner, p.req_flits)
+            yield self.magic[owner].pp_busy(p.pp_ivn_ps, "ivn")
+        # Data extraction through the owner R10000's secondary cache.
+        yield env.timeout(p.owner_cache_ps)
+        if kind == MemKind.WRITE:
+            hook.l2_invalidate(line)
+            home_magic.directory.set_dirty(line, node)
+            fill_state = MODIFIED
+        else:
+            hook.l2_downgrade(line)
+            home_magic.directory.clear(line)
+            home_magic.directory.add_sharer(line, owner)
+            home_magic.directory.add_sharer(line, node)
+            fill_state = CACHE_SHARED
+            # Sharing writeback to home memory, off the critical path.
+            env.process(self._sharing_writeback(owner, home),
+                        name=f"shwb{owner}->{home}")
+        if owner != node:
+            yield self.net.send(owner, node, p.data_flits)
+        self._fill(node, line, fill_state)
+        return case
+
+    def _do_upgrade(self, node: int, home: int, line: int, entry):
+        """Store hit on a SHARED line: invalidate the other sharers."""
+        p = self.params
+        env = self.env
+        home_magic = self.magic[home]
+        if entry.state != SHARED or node not in entry.sharers:
+            # Raced: our copy was invalidated while the upgrade was in
+            # flight; escalate to a full read-exclusive.
+            self.stats.add("upgrade_races")
+            if entry.state == DIRTY and entry.owner != node:
+                return (yield from self._do_dirty(node, home, line, entry,
+                                                  MemKind.WRITE))
+            return (yield from self._do_clean(node, home, line, entry,
+                                              MemKind.WRITE))
+        case = LOCAL_CLEAN if home == node else REMOTE_CLEAN
+        yield home_magic.pp_busy(p.pp_mem_ps, "upgrade")
+        others = [s for s in entry.sharers if s != node]
+        if others:
+            yield env.all_of(
+                [self._invalidate_sharer(home, s, line) for s in others]
+            )
+        home_magic.directory.set_dirty(line, node)
+        self._fill(node, line, MODIFIED)
+        self.stats.add("upgrades_clean")
+        return case
+
+    def _invalidate_sharer(self, home: int, sharer: int, line: int):
+        """Invalidation round trip home -> sharer -> home (ack)."""
+        return self.env.process(
+            self._invalidate_gen(home, sharer, line),
+            name=f"inv{home}->{sharer}",
+        )
+
+    def _invalidate_gen(self, home: int, sharer: int, line: int):
+        p = self.params
+        self.stats.add("invalidations_sent")
+        yield self.net.send(home, sharer, p.req_flits)
+        yield self.magic[sharer].pp_busy(p.pp_inval_ps, "inval")
+        hook = self._hooks.get(sharer)
+        if hook is not None:
+            hook.l2_invalidate(line)
+        yield self.net.send(sharer, home, p.req_flits)
+
+    def _sharing_writeback(self, owner: int, home: int):
+        p = self.params
+        if owner != home:
+            yield self.net.send(owner, home, p.data_flits)
+        yield self.magic[home].pp_busy(p.pp_wb_ps, "shwb")
+        yield self.magic[home].dram_access(p.dram_ps)
+
+    # -- writeback -------------------------------------------------------------
+
+    def _writeback(self, node: int, paddr: int):
+        """Dirty eviction: update home memory and directory.  The issuing
+        processor does not wait (its write buffer tracks completion)."""
+        p = self.params
+        env = self.env
+        line = paddr >> self.line_shift
+        home = home_node(paddr)
+        self.stats.add("req_writeback")
+        yield env.timeout(p.bus_ps)
+        if home != node:
+            yield self.magic[node].pp_busy(p.pp_out_ps, "out")
+            yield self.net.send(node, home, p.data_flits)
+        home_magic = self.magic[home]
+        entry = home_magic.directory.entry(line)
+        while entry.busy is not None:
+            yield entry.busy
+        entry.busy = env.event()
+        try:
+            yield home_magic.pp_busy(p.pp_wb_ps, "wb")
+            yield home_magic.dram_access(p.dram_ps)
+            if entry.state == DIRTY and entry.owner == node:
+                home_magic.directory.clear(line)
+            elif entry.state == SHARED:
+                home_magic.directory.drop_sharer(line, node)
+        finally:
+            busy, entry.busy = entry.busy, None
+            busy.succeed()
+        return env.now
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _fill(self, node: int, line: int, state: str) -> None:
+        hook = self._hooks.get(node)
+        if hook is None:
+            raise ProtocolError(f"no processor hook attached at node {node}")
+        hook.l2_fill(line, state)
+
+    def directory_of(self, paddr: int):
+        """The directory entry governing *paddr* (tests / debugging)."""
+        return self.magic[home_node(paddr)].directory.peek(
+            paddr >> self.line_shift
+        )

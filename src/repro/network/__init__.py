@@ -1,0 +1,6 @@
+"""Interconnect: hypercube topology and contended fabric."""
+
+from repro.network.fabric import Network, NetworkParams
+from repro.network.topology import Hypercube
+
+__all__ = ["Network", "NetworkParams", "Hypercube"]

@@ -1,0 +1,80 @@
+"""The interconnect fabric with per-link router contention.
+
+Each directed hypercube link owns a :class:`~repro.engine.resources.Resource`
+modelling its router output port.  A message occupies each port along its
+path for a duration proportional to its flit count, then incurs the wire /
+router latency per hop.  The generic NUMA memory-system model asks for
+``model_contention=False``, in which case messages only pay latency --
+"it does not model contention in the network or the routers"
+(Section 2.2) -- which is precisely what the Figure 7 experiment probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.stats import CounterSet
+from repro.engine import Engine, Resource
+from repro.network.topology import Hypercube
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Timing of the interconnect."""
+
+    hop_ps: int             #: wire + router pipeline latency per hop
+    router_occ_ps: int      #: port occupancy of a header flit
+    flit_occ_ps: int        #: extra occupancy per additional flit
+
+    def occupancy_ps(self, flits: int) -> int:
+        return self.router_occ_ps + self.flit_occ_ps * max(0, flits - 1)
+
+
+class Network:
+    """Hypercube fabric; ``send`` returns an event firing on delivery."""
+
+    def __init__(self, env: Engine, n_nodes: int, params: NetworkParams,
+                 model_contention: bool = True):
+        self.env = env
+        self.cube = Hypercube(n_nodes)
+        self.params = params
+        self.model_contention = model_contention
+        self.stats = CounterSet("network")
+        self._links: Dict[Tuple[int, int], Resource] = {}
+        if model_contention:
+            for link in self.cube.links():
+                self._links[link] = Resource(
+                    env, f"link{link[0]}->{link[1]}"
+                )
+
+    def send(self, src: int, dst: int, flits: int = 1):
+        """Transmit a message; the returned event fires at delivery time."""
+        return self.env.process(
+            self._send_gen(src, dst, flits), name=f"msg{src}->{dst}"
+        )
+
+    def _send_gen(self, src: int, dst: int, flits: int):
+        self.stats.add("messages")
+        self.stats.add("flits", flits)
+        if src == dst:
+            return self.env.now
+        hops = self.cube.route(src, dst)
+        self.stats.add("hops", len(hops))
+        occupancy = self.params.occupancy_ps(flits)
+        for link in hops:
+            if self.model_contention:
+                yield self._links[link].use(occupancy)
+            else:
+                yield self.env.timeout(occupancy)
+            yield self.env.timeout(self.params.hop_ps)
+        return self.env.now
+
+    def latency_bound_ps(self, src: int, dst: int, flits: int = 1) -> int:
+        """Uncontended delivery latency (used by tests and NUMA tables)."""
+        hops = self.cube.distance(src, dst)
+        return hops * (self.params.occupancy_ps(flits) + self.params.hop_ps)
+
+    def link_stats(self):
+        """Per-link resource stats (contention analysis)."""
+        return {link: res.stats for link, res in self._links.items()}

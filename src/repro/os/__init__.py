@@ -1,0 +1,5 @@
+"""Operating-system models: SimOS-hosted IRIX vs Solo backdoor emulation."""
+
+from repro.os.base import OsModel, simos_kernel, solo_backdoor
+
+__all__ = ["OsModel", "simos_kernel", "solo_backdoor"]

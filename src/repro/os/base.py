@@ -1,0 +1,65 @@
+"""Operating-system models.
+
+The paper's simulators differ in *who* provides OS services:
+
+* **SimOS** boots a (modified) IRIX: page mapping and system calls are the
+  kernel's job, the TLB is modelled, and background kernel activity
+  (scheduler ticks) perturbs the application.
+* **Solo** emulates system calls through backdoor routines, performs
+  physical page allocation itself, and models no TLB at all -- the
+  omissions whose consequences Section 3.1.2 dissects.
+
+An :class:`OsModel` bundles those choices; the machine builder consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineScale
+from repro.vm.allocators import PageAllocator, Placement, make_allocator
+
+
+@dataclass(frozen=True)
+class OsModel:
+    """What the 'operating system' contributes to a simulation."""
+
+    name: str
+    models_tlb: bool            #: is there a TLB (and TLB-miss cost) at all?
+    allocator_kind: str         #: page-frame policy ('irix', 'solo', 'random')
+    syscall_cycles: float       #: processor cycles per emulated system call
+    tick_overhead_factor: float #: fraction of cycles lost to kernel ticks
+
+    def make_allocator(self, scale: MachineScale, n_nodes: int,
+                       placement: str = Placement.FIRST_TOUCH) -> PageAllocator:
+        return make_allocator(self.allocator_kind, scale, n_nodes, placement)
+
+    def syscall_cost(self, service: str) -> float:
+        """Cycles charged for one system call of *service* class."""
+        if self.syscall_cycles == 0:
+            return 0.0
+        heavy = {"io": 4.0, "fork": 8.0}
+        return self.syscall_cycles * heavy.get(service, 1.0)
+
+
+def simos_kernel() -> OsModel:
+    """The SimOS-hosted IRIX model: TLB, page coloring, kernel ticks."""
+    return OsModel(
+        name="simos-irix",
+        models_tlb=True,
+        allocator_kind="irix",
+        syscall_cycles=800.0,
+        tick_overhead_factor=0.002,
+    )
+
+
+def solo_backdoor() -> OsModel:
+    """Solo's OS emulation: no TLB, simulator-owned sequential allocation,
+    free backdoor system calls."""
+    return OsModel(
+        name="solo-backdoor",
+        models_tlb=False,
+        allocator_kind="solo",
+        syscall_cycles=0.0,
+        tick_overhead_factor=0.0,
+    )

@@ -1,0 +1,6 @@
+"""Cache-coherence protocol substrate: directory states and MAGIC."""
+
+from repro.proto.directory import DIRTY, DirEntry, Directory, SHARED, UNOWNED
+from repro.proto.magic import MagicController
+
+__all__ = ["DIRTY", "DirEntry", "Directory", "SHARED", "UNOWNED", "MagicController"]

@@ -1,0 +1,114 @@
+"""Machine: one fully assembled simulated multiprocessor.
+
+Construction wires the pieces exactly as the simulator configuration
+dictates: cores (Mipsy/MXS/R10K/Embra) on top of per-node memory
+interfaces, a shared page table filled by the OS model's allocator, and a
+DSM memory system (FlashLite- or NUMA-parameterised) over a hypercube.
+
+A machine is single-use: ``run(workload)`` executes one workload from cold
+caches and returns a :class:`~repro.sim.results.RunResult`.  The paper's
+methodology of timing only each application's parallel section makes cold
+start irrelevant -- workloads warm themselves during their init phase.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import MachineScale, REPRO_SCALE
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import StatsRegistry
+from repro.cpu import CpuMemInterface, make_core
+from repro.engine import Engine
+from repro.mem.page_table import PageTable
+from repro.memsys.dsm import DsmMemorySystem
+from repro.sim.configs import SimulatorConfig
+from repro.sim.results import RunResult, merge_phase_marks
+from repro.sim.sync import SyncDomain
+from repro.vm.allocators import Placement
+
+
+class Machine:
+    """A configured multiprocessor ready to run one workload."""
+
+    def __init__(self, config: SimulatorConfig, n_cpus: int,
+                 scale: MachineScale = REPRO_SCALE,
+                 placement: str = Placement.FIRST_TOUCH):
+        if n_cpus < 1 or n_cpus & (n_cpus - 1):
+            raise ConfigurationError(
+                f"n_cpus must be a power of two (hypercube), got {n_cpus}"
+            )
+        self.config = config
+        self.n_cpus = n_cpus
+        self.scale = scale
+        self.placement = placement
+        self.env = Engine()
+        self.registry = StatsRegistry()
+        self.memsys = DsmMemorySystem(
+            self.env, n_cpus, config.memsys_params(n_cpus),
+            scale.l2.line_bytes, self.registry,
+        )
+        allocator = config.os_model.make_allocator(scale, n_cpus, placement)
+        self.allocator = allocator
+        self.page_table = PageTable(
+            scale.tlb.page_bytes, allocator,
+            self.registry.counter_set("pagetable"),
+        )
+        self.ifaces: List[CpuMemInterface] = []
+        self.cores = []
+        for node in range(n_cpus):
+            iface = CpuMemInterface(
+                self.env, node, scale, self.memsys, self.page_table,
+                config.core, model_tlb=config.os_model.models_tlb,
+                registry=self.registry,
+            )
+            self.memsys.attach(node, iface)
+            core = make_core(self.env, node, config.core, iface,
+                             config.os_model, self.registry)
+            self.ifaces.append(iface)
+            self.cores.append(core)
+        self.sync = SyncDomain(self.env, n_cpus)
+        self._ran = False
+
+    def run(self, workload) -> RunResult:
+        """Execute *workload* to completion and collect the result."""
+        if self._ran:
+            raise SimulationError("a Machine is single-use; build a new one")
+        self._ran = True
+        traces = workload.build(self.n_cpus)
+        if len(traces) != self.n_cpus:
+            raise ConfigurationError(
+                f"workload produced {len(traces)} traces for {self.n_cpus} CPUs"
+            )
+        processes = []
+        for core, trace in zip(self.cores, traces):
+            core.start_at(self.env.now)
+            processes.append(
+                self.env.process(core.run_trace(trace, self.sync),
+                                 name=f"cpu{core.node}")
+            )
+        self.env.run(until=self.env.all_of(processes))
+        if self.sync.open_barriers():
+            raise SimulationError("run finished with CPUs stuck at a barrier")
+        spans = merge_phase_marks([core.phase_marks for core in self.cores])
+        instructions = sum(
+            core.stats["instructions"] for core in self.cores
+        )
+        return RunResult(
+            config_name=self.config.name,
+            workload_name=workload.name,
+            n_cpus=self.n_cpus,
+            scale_name=self.scale.name,
+            total_ps=self.env.now,
+            phase_spans_ps=spans,
+            instructions=instructions,
+            stats=self.registry.flat(),
+        )
+
+
+def run_workload(config: SimulatorConfig, workload, n_cpus: int = 1,
+                 scale: Optional[MachineScale] = None,
+                 placement: str = Placement.FIRST_TOUCH) -> RunResult:
+    """Build a machine, run one workload, return the result."""
+    machine = Machine(config, n_cpus, scale or workload.scale, placement)
+    return machine.run(workload)

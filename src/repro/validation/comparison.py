@@ -1,0 +1,115 @@
+"""Simulator-vs-reference comparison runs (Figures 1-4).
+
+``compare_simulators`` runs a set of simulator configurations and a set of
+workloads against the gold-standard configuration at a fixed processor
+count and reports relative execution times -- one call per comparison
+figure.  Reference runs are cached per (workload, P) so a figure's seven
+simulator columns share a single gold run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import MachineScale
+from repro.sim.configs import SimulatorConfig, hardware_config
+from repro.sim.machine import run_workload
+from repro.sim.results import RunResult
+from repro.validation.metrics import relative_time
+from repro.vm.allocators import Placement
+
+
+@dataclass
+class ComparisonRow:
+    """One bar of a comparison figure."""
+
+    workload: str
+    config: str
+    n_cpus: int
+    sim_ps: int
+    reference_ps: int
+
+    @property
+    def relative(self) -> float:
+        return relative_time(self.sim_ps, self.reference_ps)
+
+
+@dataclass
+class ComparisonTable:
+    """All bars of one figure, with formatting helpers."""
+
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def relative_of(self, workload: str, config: str) -> float:
+        for row in self.rows:
+            if row.workload == workload and row.config == config:
+                return row.relative
+        raise KeyError((workload, config))
+
+    def by_workload(self) -> Dict[str, List[ComparisonRow]]:
+        out: Dict[str, List[ComparisonRow]] = {}
+        for row in self.rows:
+            out.setdefault(row.workload, []).append(row)
+        return out
+
+    def format(self) -> str:
+        configs: List[str] = []
+        for row in self.rows:
+            if row.config not in configs:
+                configs.append(row.config)
+        lines = [self.title]
+        header = f"{'workload':10s}" + "".join(f"{c:>24s}" for c in configs)
+        lines.append(header)
+        for workload, rows in self.by_workload().items():
+            by_config = {r.config: r for r in rows}
+            cells = "".join(
+                f"{by_config[c].relative:24.2f}" if c in by_config else " " * 24
+                for c in configs
+            )
+            lines.append(f"{workload:10s}{cells}")
+        return "\n".join(lines)
+
+
+class ReferenceCache:
+    """Caches gold-standard runs across figures of one session."""
+
+    def __init__(self, reference: Optional[SimulatorConfig] = None):
+        self.reference = reference or hardware_config()
+        self._runs: Dict[Tuple, RunResult] = {}
+
+    def run(self, workload, n_cpus: int, scale: Optional[MachineScale],
+            placement: str = Placement.FIRST_TOUCH) -> RunResult:
+        key = (workload.name, workload.problem_description(), n_cpus,
+               placement, (scale or workload.scale).name)
+        if key not in self._runs:
+            self._runs[key] = run_workload(
+                self.reference, workload, n_cpus, scale, placement)
+        return self._runs[key]
+
+
+def compare_simulators(
+    configs: Sequence[SimulatorConfig],
+    workloads: Sequence,
+    n_cpus: int = 1,
+    scale: Optional[MachineScale] = None,
+    reference_cache: Optional[ReferenceCache] = None,
+    title: str = "",
+    placement: str = Placement.FIRST_TOUCH,
+) -> ComparisonTable:
+    """Run the matrix and return relative execution times."""
+    cache = reference_cache or ReferenceCache()
+    table = ComparisonTable(title or f"relative execution time, P={n_cpus}")
+    for workload in workloads:
+        ref = cache.run(workload, n_cpus, scale, placement)
+        for config in configs:
+            sim = run_workload(config, workload, n_cpus, scale, placement)
+            table.rows.append(ComparisonRow(
+                workload=workload.name,
+                config=config.name,
+                n_cpus=n_cpus,
+                sim_ps=sim.parallel_ps,
+                reference_ps=ref.parallel_ps,
+            ))
+    return table

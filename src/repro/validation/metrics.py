@@ -1,0 +1,66 @@
+"""Error metrics for simulator-vs-reference comparisons.
+
+The paper's headline quantity is *relative execution time*: simulated time
+divided by hardware time for the same binary and input (1.0 = perfect,
+below 1.0 = the simulator runs "faster than hardware", i.e. underpredicts
+execution time -- the usual failure mode in Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def relative_time(sim_ps: float, reference_ps: float) -> float:
+    """Simulated / reference execution time (the figures' Y axis)."""
+    if reference_ps <= 0:
+        raise ValueError("reference time must be positive")
+    return sim_ps / reference_ps
+
+
+def percent_error(sim_ps: float, reference_ps: float) -> float:
+    """Signed percentage error of the simulator's prediction."""
+    return (relative_time(sim_ps, reference_ps) - 1.0) * 100.0
+
+
+def mean_abs_percent_error(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean |percent error| over (sim, reference) pairs."""
+    errors = [abs(percent_error(s, r)) for s, r in pairs]
+    if not errors:
+        raise ValueError("no pairs supplied")
+    return sum(errors) / len(errors)
+
+
+def speedup(times_ps: Dict[int, float]) -> Dict[int, float]:
+    """T(1)/T(P) for a {P: time} mapping (must include P=1)."""
+    if 1 not in times_ps:
+        raise ValueError("speedup needs the uniprocessor time")
+    t1 = times_ps[1]
+    return {p: t1 / t for p, t in sorted(times_ps.items())}
+
+
+def trend_agreement(sim_speedups: Dict[int, float],
+                    ref_speedups: Dict[int, float]) -> float:
+    """How well a simulator predicts the speedup *trend*.
+
+    Mean absolute relative error of the predicted speedup at each shared
+    processor count above one (0.0 = perfect trend prediction).  This is
+    the quantity behind Section 3.2's conclusions.
+    """
+    shared = sorted(set(sim_speedups) & set(ref_speedups) - {1})
+    if not shared:
+        raise ValueError("no shared parallel points")
+    return sum(
+        abs(sim_speedups[p] - ref_speedups[p]) / ref_speedups[p]
+        for p in shared
+    ) / len(shared)
+
+
+def rank_order_preserved(sim_values: Sequence[float],
+                         ref_values: Sequence[float]) -> bool:
+    """True if the simulator orders the alternatives as the reference does
+    (the minimal bar for an architectural-trend study)."""
+    if len(sim_values) != len(ref_values):
+        raise ValueError("length mismatch")
+    order = lambda vals: sorted(range(len(vals)), key=vals.__getitem__)
+    return order(list(sim_values)) == order(list(ref_values))

@@ -1,0 +1,56 @@
+"""Memory-system-model sensitivity (Section 3.3, Figure 7).
+
+The experiment: disable Radix-Sort's data placement so every page lands on
+node 0, creating a memory hotspot, then ask each memory-system model to
+predict the 8- and 16-processor speedup.  FlashLite (occupancy + network
+contention) predicts the hardware's poor speedup closely; the generic NUMA
+model -- correct latencies, no controller occupancy -- still sees *that*
+the speedup is poor but overpredicts it by tens of percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import MachineScale
+from repro.sim.configs import SimulatorConfig
+from repro.validation.trends import SpeedupStudy, speedup_study
+from repro.vm.allocators import Placement
+
+
+@dataclass
+class HotspotStudy:
+    """Figure 7: unplaced-radix speedups per memory-system model."""
+
+    study: SpeedupStudy
+    reference: str
+
+    def overprediction(self, config: str, n_cpus: int) -> float:
+        """Relative speedup overprediction vs the reference at *n_cpus*."""
+        ref = self.study.curve_of(self.reference).at(n_cpus)
+        sim = self.study.curve_of(config).at(n_cpus)
+        return (sim - ref) / ref
+
+    def format(self) -> str:
+        counts = [p for p in sorted(self.study.curves[0].times_ps) if p > 1]
+        lines = ["unplaced Radix-Sort speedup (memory hotspot at node 0)"]
+        lines.append(f"{'config':34s}" + "".join(f"{p:>10d}" for p in counts))
+        for curve in self.study.curves:
+            cells = "".join(f"{curve.at(p):10.2f}" for p in counts)
+            note = "  <- reference" if curve.config == self.reference else ""
+            lines.append(f"{curve.config:34s}{cells}{note}")
+        return "\n".join(lines)
+
+
+def hotspot_study(
+    configs: Sequence[SimulatorConfig],
+    workload,
+    reference_name: str,
+    cpu_counts: Sequence[int] = (1, 8, 16),
+    scale: Optional[MachineScale] = None,
+) -> HotspotStudy:
+    """Run the unplaced-workload sweep (placement forced to node 0)."""
+    study = speedup_study(configs, workload, cpu_counts, scale,
+                          placement=Placement.NODE0)
+    return HotspotStudy(study=study, reference=reference_name)

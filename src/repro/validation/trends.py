@@ -1,0 +1,86 @@
+"""Speedup / trend studies (Section 3.2, Figures 5-7).
+
+``speedup_study`` runs one workload across processor counts on several
+simulator configurations and reports each platform's *self-relative*
+speedup (T(1)/T(P) measured on that same platform) -- exactly how the
+paper evaluates trend prediction: a simulator may be wrong in absolute
+time yet still predict the speedup curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import MachineScale
+from repro.sim.configs import SimulatorConfig
+from repro.sim.machine import run_workload
+from repro.validation.metrics import speedup, trend_agreement
+from repro.vm.allocators import Placement
+
+DEFAULT_CPU_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class SpeedupCurve:
+    """One platform's speedup curve for one workload."""
+
+    config: str
+    workload: str
+    times_ps: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def speedups(self) -> Dict[int, float]:
+        return speedup(self.times_ps)
+
+    def at(self, n_cpus: int) -> float:
+        return self.speedups[n_cpus]
+
+
+@dataclass
+class SpeedupStudy:
+    """All curves of one trend figure."""
+
+    workload: str
+    curves: List[SpeedupCurve] = field(default_factory=list)
+
+    def curve_of(self, config: str) -> SpeedupCurve:
+        for curve in self.curves:
+            if curve.config == config:
+                return curve
+        raise KeyError(config)
+
+    def trend_errors(self, reference: str) -> Dict[str, float]:
+        """Trend-agreement error of every curve vs *reference*."""
+        ref = self.curve_of(reference).speedups
+        return {
+            curve.config: trend_agreement(curve.speedups, ref)
+            for curve in self.curves if curve.config != reference
+        }
+
+    def format(self) -> str:
+        counts = sorted(self.curves[0].times_ps)
+        lines = [f"speedup study: {self.workload}"]
+        lines.append(f"{'config':28s}" + "".join(f"{p:>8d}" for p in counts))
+        for curve in self.curves:
+            cells = "".join(f"{curve.speedups[p]:8.2f}" for p in counts)
+            lines.append(f"{curve.config:28s}{cells}")
+        return "\n".join(lines)
+
+
+def speedup_study(
+    configs: Sequence[SimulatorConfig],
+    workload,
+    cpu_counts: Sequence[int] = DEFAULT_CPU_COUNTS,
+    scale: Optional[MachineScale] = None,
+    placement: str = Placement.FIRST_TOUCH,
+) -> SpeedupStudy:
+    """Run *workload* at each CPU count on each configuration."""
+    study = SpeedupStudy(workload=workload.name)
+    for config in configs:
+        curve = SpeedupCurve(config=config.name, workload=workload.name)
+        for n_cpus in cpu_counts:
+            result = run_workload(config, workload, n_cpus, scale, placement)
+            curve.times_ps[n_cpus] = result.parallel_ps
+        study.curves.append(curve)
+    return study

@@ -1,0 +1,25 @@
+"""Virtual memory: layouts, page allocators, placement policies."""
+
+from repro.vm.allocators import (
+    ALLOCATORS,
+    IrixColoringAllocator,
+    PageAllocator,
+    Placement,
+    RandomColorAllocator,
+    SoloSequentialAllocator,
+    make_allocator,
+)
+from repro.vm.layout import DATA_BASE, Region, VirtualLayout
+
+__all__ = [
+    "ALLOCATORS",
+    "IrixColoringAllocator",
+    "PageAllocator",
+    "Placement",
+    "RandomColorAllocator",
+    "SoloSequentialAllocator",
+    "make_allocator",
+    "DATA_BASE",
+    "Region",
+    "VirtualLayout",
+]

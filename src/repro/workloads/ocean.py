@@ -1,0 +1,203 @@
+"""Ocean: the SPLASH-2 ocean-current simulation (Table 2: 514x514 grid).
+
+Red-black Gauss-Seidel relaxation sweeps over several same-shaped grids
+(solution, old solution, right-hand side, two coefficient grids, stream
+function).  Each sweep reads the five-point stencil of the solution grid
+plus the same (i, j) element of three other grids and writes the solution
+-- floating-point heavy, including divides (the high-latency mix behind
+Mipsy's Ocean underprediction, Section 3.1.3).
+
+**The page-coloring story (Section 3.1.2).**  Three of the hot grids
+(coefficients ``ga``/``gb`` and the solution ``q``) are allocated
+back-to-back and sized exactly at the L2 color period (the power-of-two
+strides of the original program); the remaining grids carry border rows.
+Under Solo's sequential first-touch allocator a *uniprocessor* run places
+those three grids at identical physical colors: three same-index lines
+compete for a two-way L2 set and the secondary-cache miss rate roughly
+triples -- the paper's "Solo predicts a secondary cache miss rate that is
+approximately three times higher".  On parallel runs each node's pool
+interleaves the grids' bands, decorrelating the colors, so the problem
+vanishes (Figure 4), while leaving Solo's superlinear-speedup artefact:
+its own inflated T(1) divided by healthy T(P).  IRIX's virtual-address
+coloring keeps the grids apart at every processor count because the
+virtual layout staggers them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.common.config import MachineScale, REPRO_SCALE
+from repro.common.errors import WorkloadError
+from repro.isa.chunk import BranchProfile
+from repro.isa.trace import Barrier, ChunkExec, PhaseMark, Trace
+from repro.vm.layout import VirtualLayout
+from repro.workloads.base import Workload
+from repro.workloads.builder import ChunkBuilder
+
+ELEM_BYTES = 8
+POINTS_PER_REP = 8
+
+
+def default_n(scale: MachineScale) -> int:
+    """Grid dimension such that one grid equals the L2 color period (one
+    cache way) -- the power-of-two-stride regime of the original Ocean."""
+    way_bytes = scale.l2.size_bytes // scale.l2.assoc
+    n = int((way_bytes / ELEM_BYTES) ** 0.5)
+    return max(POINTS_PER_REP * 2, (n // POINTS_PER_REP) * POINTS_PER_REP)
+
+
+class OceanWorkload(Workload):
+    """Red-black relaxation over six grids."""
+
+    name = "ocean"
+
+    def __init__(self, scale: MachineScale = REPRO_SCALE, n: int = 0,
+                 iterations: int = 6):
+        super().__init__(scale)
+        self.n = n or default_n(scale)
+        if self.n % POINTS_PER_REP:
+            raise WorkloadError("grid size must be a multiple of the rep width")
+        self.iterations = iterations
+        self.row_bytes = self.n * ELEM_BYTES
+        grid_bytes = self.n * self.n * ELEM_BYTES
+        border_bytes = 4 * self.page  # grids with border rows
+        # Hot grids are padded to the L2 color period (the power-of-two
+        # allocation stride of the original program) -- the precondition
+        # of the Solo sequential-allocation congruence.
+        way_bytes = scale.l2.size_bytes // scale.l2.assoc
+        grid_bytes = ((grid_bytes + way_bytes - 1) // way_bytes) * way_bytes
+        layout = VirtualLayout(self.page)
+        # Allocation order matters: it *is* the Solo conflict mechanism.
+        # ga, gb, q are exactly color-period-sized and adjacent; the rest
+        # carry borders that stagger everything allocated after them.
+        self.ga = layout.add("ocean_ga", grid_bytes, gap_pages=1)
+        self.gb = layout.add("ocean_gb", grid_bytes, gap_pages=2)
+        self.q = layout.add("ocean_q", grid_bytes, gap_pages=3)
+        self.q_old = layout.add("ocean_q_old", grid_bytes, gap_pages=5)
+        self.rhs = layout.add("ocean_rhs", grid_bytes, gap_pages=6)
+        self.psi = layout.add("ocean_psi", grid_bytes + border_bytes,
+                              gap_pages=7)
+        self.grids = (self.ga, self.gb, self.q, self.q_old, self.rhs,
+                      self.psi)
+
+    def problem_description(self) -> str:
+        return (f"{self.n}x{self.n} grids x6, {self.iterations} iterations, "
+                "red-black relaxation")
+
+    # -- chunks ------------------------------------------------------------
+
+    def _relax_chunk(self):
+        """One row segment of 8 points: stencil + 3 coefficient grids.
+
+        Memory per rep: prefetch, north/south rows of q, the same-index
+        lines of rhs, ga, gb, and the store back to q.  Compute: ~20 flops
+        per point including one divide per four points (Ocean's mix).
+        """
+        b = ChunkBuilder("ocean/relax", BranchProfile("loop"))
+        b.prefetch()
+        b.load(1)    # q north segment
+        b.load(2)    # q south segment
+        b.load(3)    # rhs
+        b.load(4)    # ga
+        b.load(5)    # gb
+        b.load(6)    # q centre
+        b.load(7)    # q_old (previous timestep)
+        # Gauss-Seidel is a recurrence: each point's update consumes the
+        # previous point's freshly relaxed value (register 9 threads the
+        # chain), so the real machine is partially bound by floating-point
+        # result latency -- what a one-cycle-per-instruction model cannot
+        # see.  Half the work (the stencil weights) is chain-independent.
+        for i in range(POINTS_PER_REP):
+            for _round in range(2):
+                b.fmul(9, 9, 4)
+                b.fadd(9, 9, 2)
+                b.fmul(17 + (i % 4), 9, 5)
+                b.fadd(9, 9, 17 + (i % 4))
+                b.fmul(9, 9, 3)
+                b.fadd(9, 9, 6)
+                b.fmul(9, 9, 4)
+                b.fadd(9, 9, 7)
+            if i % 4 == 0:
+                b.fdiv(9, 9)
+            b.ialu(30, 30)
+        b.store(value_reg=9)   # q centre segment back
+        b.ialu(31, 31)
+        b.branch(31)
+        return b.build()
+
+    def _touch_chunk(self):
+        b = ChunkBuilder("ocean/touch")
+        b.store(value_reg=1)
+        return b.build()
+
+    # -- addresses -------------------------------------------------------------
+
+    def _sweep_addrs(self, band: range, color: int) -> np.ndarray:
+        """Rows of addresses for one red or black sweep over *band*."""
+        n = self.n
+        seg_bytes = POINTS_PER_REP * ELEM_BYTES
+        segs_per_row = n // POINTS_PER_REP
+        rows = [r for r in band if 1 <= r < n - 1 and r % 2 == color]
+        if not rows:
+            return np.empty((0, 9), dtype=np.int64)
+        r = np.repeat(np.asarray(rows, dtype=np.int64), segs_per_row)
+        s = np.tile(np.arange(segs_per_row, dtype=np.int64), len(rows))
+        off = r * self.row_bytes + s * seg_bytes
+        out = np.empty((len(off), 9), dtype=np.int64)
+        q = self.q.base
+        out[:, 0] = q + off + seg_bytes              # prefetch ahead
+        out[:, 1] = q + off - self.row_bytes         # north
+        out[:, 2] = q + off + self.row_bytes         # south
+        out[:, 3] = self.rhs.base + off
+        out[:, 4] = self.ga.base + off
+        out[:, 5] = self.gb.base + off
+        out[:, 6] = q + off                          # centre
+        out[:, 7] = self.q_old.base + off            # previous timestep
+        out[:, 8] = q + off                          # store
+        return out
+
+    def _band(self, n_cpus: int, cpu: int) -> range:
+        return self.split_even(self.n, n_cpus, cpu)
+
+    # -- trace construction --------------------------------------------------------
+
+    def build(self, n_cpus: int) -> List[Trace]:
+        relax = self._relax_chunk()
+        touch = self._touch_chunk()
+        traces: List[List] = [[] for _ in range(n_cpus)]
+        for cpu in range(n_cpus):
+            band = self._band(n_cpus, cpu)
+            # Init: first-touch each grid's band, grid by grid (the
+            # allocation order the conflict story depends on).
+            pages = []
+            for grid in self.grids:
+                lo = grid.base + band.start * self.row_bytes
+                hi = grid.base + band.stop * self.row_bytes
+                if cpu == n_cpus - 1:
+                    hi = grid.end  # last CPU touches the border rows
+                pages.append(np.arange(lo, hi, self.page, dtype=np.int64))
+            traces[cpu].append(
+                ChunkExec(touch, np.concatenate(pages).reshape(-1, 1)))
+        bid = [0]
+
+        def barrier_all():
+            bid[0] += 1
+            for trace in traces:
+                trace.append(Barrier(bid[0]))
+
+        barrier_all()
+        for trace in traces:
+            trace.append(PhaseMark(PhaseMark.PARALLEL, begin=True))
+        for _iter in range(self.iterations):
+            for color in (0, 1):
+                for cpu in range(n_cpus):
+                    addrs = self._sweep_addrs(self._band(n_cpus, cpu), color)
+                    if len(addrs):
+                        traces[cpu].append(ChunkExec(relax, addrs))
+                barrier_all()
+        for trace in traces:
+            trace.append(PhaseMark(PhaseMark.PARALLEL, begin=False))
+        return traces

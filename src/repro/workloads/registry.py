@@ -1,0 +1,44 @@
+"""Workload registry: the study's application suite by name.
+
+``app_suite`` returns the four SPLASH-2 workloads in their two forms:
+``initial`` -- the inputs used before the paper's application-level TLB
+fixes (FFT blocked for the cache, pathological radix), and ``tuned`` --
+after them (FFT blocked for the TLB, reduced radix).  Figures 1 and 2
+differ exactly by this switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.config import MachineScale, REPRO_SCALE
+from repro.common.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.fft import FftWorkload
+from repro.workloads.lu import LuWorkload
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.radix import RadixWorkload, pathological_radix, tuned_radix
+
+APP_NAMES = ("fft", "radix", "lu", "ocean")
+
+
+def make_app(name: str, scale: MachineScale = REPRO_SCALE,
+             tuned_inputs: bool = True, **kwargs) -> Workload:
+    """Build one application by name."""
+    if name == "fft":
+        blocking = "tlb" if tuned_inputs else "cache"
+        return FftWorkload(scale, blocking=blocking, **kwargs)
+    if name == "radix":
+        radix = tuned_radix(scale) if tuned_inputs else pathological_radix(scale)
+        return RadixWorkload(scale, radix=radix, **kwargs)
+    if name == "lu":
+        return LuWorkload(scale, **kwargs)
+    if name == "ocean":
+        return OceanWorkload(scale, **kwargs)
+    raise WorkloadError(f"unknown application {name!r}; known: {APP_NAMES}")
+
+
+def app_suite(scale: MachineScale = REPRO_SCALE,
+              tuned_inputs: bool = True) -> List[Workload]:
+    """The four-application suite of the study."""
+    return [make_app(name, scale, tuned_inputs) for name in APP_NAMES]

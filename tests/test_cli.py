@@ -1,0 +1,36 @@
+"""CLI entry-point tests (cheap experiments only)."""
+
+import pytest
+
+from repro.harness.runner import main
+
+
+def test_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "paper vs measured" in out
+
+
+def test_scale_flag(capsys):
+    assert main(["table2", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "scale=tiny" in out
+
+
+def test_markdown_flag(tmp_path, capsys):
+    target = tmp_path / "one.md"
+    assert main(["table1", "--markdown", str(target)]) == 0
+    assert target.exists()
+    assert "## table1" in target.read_text()
+
+
+def test_unknown_experiment_raises():
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        main(["fig42"])
+
+
+def test_unknown_scale_raises():
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        main(["table1", "--scale", "galactic"])

@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine import Engine, Resource
+
+
+def test_timeout_advances_clock():
+    env = Engine()
+    done = env.timeout(1500)
+    env.run(until=done)
+    assert env.now == 1500
+
+
+def test_events_fire_in_time_order():
+    env = Engine()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(300, "c"))
+    env.process(proc(100, "a"))
+    env.process(proc(200, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    env = Engine()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(50)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates():
+    env = Engine()
+
+    def inner():
+        yield env.timeout(10)
+        return 42
+
+    def outer():
+        value = yield env.process(inner())
+        return value + 1
+
+    result = env.run(until=env.process(outer()))
+    assert result == 43
+
+
+def test_waiting_on_fired_event_resumes_immediately():
+    env = Engine()
+    ev = env.event()
+    ev.succeed("early")
+
+    def proc():
+        value = yield ev
+        return (value, env.now)
+
+    assert env.run(until=env.process(proc())) == ("early", 0)
+
+
+def test_event_cannot_fire_twice():
+    env = Engine()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_negative_timeout_rejected():
+    env = Engine()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_all_of_waits_for_every_child():
+    env = Engine()
+
+    def proc():
+        values = yield env.all_of([env.timeout(10), env.timeout(30)])
+        return (values, env.now)
+
+    values, now = env.run(until=env.process(proc()))
+    assert now == 30
+    assert len(values) == 2
+
+
+def test_any_of_fires_on_first_child():
+    env = Engine()
+
+    def proc():
+        yield env.any_of([env.timeout(10), env.timeout(30)])
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 10
+
+
+def test_deadlock_detected():
+    env = Engine()
+
+    def stuck():
+        yield env.event()  # never fired
+
+    target = env.process(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=target)
+
+
+def test_process_yielding_non_event_fails():
+    env = Engine()
+
+    def bad():
+        yield 123
+
+    with pytest.raises(SimulationError):
+        env.run(until=env.process(bad()))
+
+
+class TestResource:
+    def test_serializes_two_users(self):
+        env = Engine()
+        res = Resource(env, "magic")
+        finish = []
+
+        def user(tag):
+            yield res.acquire()
+            yield env.timeout(100)
+            res.release()
+            finish.append((tag, env.now))
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert finish == [("a", 100), ("b", 200)]
+
+    def test_capacity_two_overlaps(self):
+        env = Engine()
+        res = Resource(env, "dram", capacity=2)
+        finish = []
+
+        def user(tag):
+            yield res.acquire()
+            yield env.timeout(100)
+            res.release()
+            finish.append((tag, env.now))
+
+        for tag in range(3):
+            env.process(user(tag))
+        env.run()
+        assert [t for _, t in finish] == [100, 100, 200]
+
+    def test_use_helper(self):
+        env = Engine()
+        res = Resource(env, "router")
+
+        def user():
+            yield res.use(75)
+            return env.now
+
+        assert env.run(until=env.process(user())) == 75
+        assert res.in_use == 0
+
+    def test_release_without_acquire_raises(self):
+        env = Engine()
+        res = Resource(env, "x")
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_wait_statistics_accumulate(self):
+        env = Engine()
+        res = Resource(env, "pp")
+
+        def user():
+            yield res.use(100)
+
+        env.process(user())
+        env.process(user())
+        env.run()
+        assert res.requests == 2
+        assert res.stats["queued_grants"] == 1
+        assert res.stats["wait_ps"] == 100
+
+    def test_fifo_grant_order(self):
+        env = Engine()
+        res = Resource(env, "link")
+        order = []
+
+        def user(tag):
+            yield res.acquire()
+            order.append(tag)
+            yield env.timeout(10)
+            res.release()
+
+        for tag in range(4):
+            env.process(user(tag))
+        env.run()
+        assert order == [0, 1, 2, 3]

@@ -1,0 +1,79 @@
+"""Harness tests: registry, findings, cheap experiments, markdown output."""
+
+import pytest
+
+from repro.common.config import REPRO_SCALE
+from repro.common.errors import ConfigurationError
+from repro.harness import (
+    DEFAULT_ORDER,
+    experiment_ids,
+    run_experiment,
+    summarize,
+    write_experiments_md,
+)
+from repro.harness.findings import ExperimentResult, Finding
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        for required in ("table1", "table2", "table3",
+                         "fig1", "fig2", "fig3", "fig4",
+                         "fig5", "fig6", "fig7",
+                         "tlb_blocking", "instr_latency", "bugs",
+                         "tuning_loop", "tlb_microbench"):
+            assert required in ids
+
+    def test_default_order_covers_registry(self):
+        assert set(DEFAULT_ORDER) == set(experiment_ids())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    def test_table1_runs_and_passes(self):
+        result = run_experiment("table1", REPRO_SCALE)
+        assert result.all_ok
+        assert "Table 1" in result.rendered
+        assert result.scale_name == "repro"
+
+    def test_table2_lists_four_apps(self):
+        result = run_experiment("table2", REPRO_SCALE)
+        assert result.rendered.count("\n") >= 5
+
+
+class TestFindings:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="x", title="t", rendered="body",
+            findings=[
+                Finding("a", "1.0", "1.1", True),
+                Finding("b", "2.0", "9.9", False, note="known divergence"),
+            ],
+            wall_seconds=1.0, scale_name="tiny",
+        )
+
+    def test_all_ok_reflects_findings(self):
+        assert not self._result().all_ok
+
+    def test_format_shows_marks(self):
+        text = self._result().format()
+        assert "[OK ]" in text and "[!! ]" in text
+
+    def test_markdown_table(self):
+        md = self._result().to_markdown()
+        assert "| check | paper | measured |" in md
+        assert "**no**" in md and "known divergence" in md
+
+    def test_summarize_counts(self):
+        text = summarize([self._result()])
+        assert "1/2" in text
+
+    def test_write_experiments_md(self, tmp_path):
+        path = tmp_path / "E.md"
+        write_experiments_md([self._result()], str(path))
+        content = path.read_text()
+        assert content.startswith("# EXPERIMENTS")
+        assert "1/2 shape checks hold" in content

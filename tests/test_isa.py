@@ -1,0 +1,232 @@
+"""Unit tests for chunks, traces and the dataflow scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa import (
+    BranchProfile,
+    Chunk,
+    ChunkExec,
+    CoreTiming,
+    Op,
+    R10K_LATENCY,
+    UNIT_LATENCY,
+    schedule_chunk,
+    schedule_inorder,
+)
+from repro.workloads.builder import ChunkBuilder
+
+R10K_INT_LAT = {int(op): lat for op, lat in R10K_LATENCY.items()}
+UNIT_INT_LAT = {int(op): lat for op, lat in UNIT_LATENCY.items()}
+
+
+def make_timing(key="t", width=4, window=32, latency=None, funits=True):
+    return CoreTiming(
+        key=key,
+        width=width,
+        window=window,
+        latency=latency or R10K_INT_LAT,
+        respect_funits=funits,
+    )
+
+
+class TestChunkMetadata:
+    def test_memory_ops_located(self):
+        b = ChunkBuilder("m")
+        b.ialu(1)
+        b.load(2)
+        b.fadd(3, 2)
+        b.store(value_reg=3)
+        chunk = b.build()
+        assert chunk.n_mem == 2
+        assert list(chunk.mem_index) == [1, 3]
+        assert chunk.mem_kind[0] == int(Op.LOAD)
+        assert chunk.mem_kind[1] == int(Op.STORE)
+
+    def test_pointer_chase_detected_via_wraparound(self):
+        # The snbench dependent-load pattern: LOAD r1 <- [r1], repeated.
+        b = ChunkBuilder("chase")
+        b.load(1, addr_reg=1)
+        chunk = b.build()
+        assert chunk.pointer_chase[0]
+
+    def test_independent_loads_not_chases(self):
+        b = ChunkBuilder("indep")
+        b.load(1, addr_reg=5)
+        b.load(2, addr_reg=6)
+        b.ialu(5, 5)  # addr regs written by IALU, not loads
+        b.ialu(6, 6)
+        chunk = b.build()
+        assert not chunk.pointer_chase.any()
+
+    def test_interlock_pairs_counted(self):
+        b = ChunkBuilder("il")
+        b.store(value_reg=1)
+        b.load(2)
+        b.load(3)
+        chunk = b.build()
+        assert chunk.interlock_pairs == 2
+
+    def test_interlock_window_limits_pairs(self):
+        b = ChunkBuilder("il2")
+        b.store(value_reg=1)
+        for _ in range(12):
+            b.ialu(4, 4)
+        b.load(2)  # farther than INTERLOCK_WINDOW instructions away
+        chunk = b.build()
+        assert chunk.interlock_pairs == 0
+
+    def test_op_counts(self):
+        b = ChunkBuilder("mix")
+        b.imul(1, 1)
+        b.imul(2, 2)
+        b.idiv(3, 3)
+        chunk = b.build()
+        assert chunk.count(Op.IMUL) == 2
+        assert chunk.count(Op.IDIV) == 1
+        assert chunk.count(Op.FADD) == 0
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(WorkloadError):
+            Chunk("empty", [], [], [], [])
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            Chunk("bad", [int(Op.IALU)], [99], [-1], [-1])
+
+
+class TestChunkExec:
+    def test_address_shape_checked(self):
+        b = ChunkBuilder("two-mem")
+        b.load(1)
+        b.store()
+        chunk = b.build()
+        good = ChunkExec(chunk, np.zeros((5, 2), dtype=np.int64))
+        assert good.reps == 5
+        assert good.n_instructions == 10
+        with pytest.raises(WorkloadError):
+            ChunkExec(chunk, np.zeros((5, 3), dtype=np.int64))
+
+    def test_one_dim_addresses_mean_one_rep(self):
+        b = ChunkBuilder("one-mem")
+        b.load(1)
+        chunk = b.build()
+        ce = ChunkExec(chunk, np.array([64]))
+        assert ce.reps == 1
+
+    def test_no_mem_chunk_needs_reps(self):
+        b = ChunkBuilder("pure")
+        b.fadd(1, 1)
+        chunk = b.build()
+        ce = ChunkExec(chunk, reps=7)
+        assert ce.reps == 7
+        with pytest.raises(WorkloadError):
+            ChunkExec(chunk)
+
+
+class TestInorderSchedule:
+    def test_unit_latency_is_one_ipc(self):
+        b = ChunkBuilder("k")
+        for _ in range(10):
+            b.ialu(1, 1)
+        chunk = b.build()
+        sched = schedule_inorder(chunk, UNIT_INT_LAT, key="unit")
+        assert sched.steady_cycles == 10
+
+    def test_latency_modelling_charges_mul_div(self):
+        # Section 3.1.3: 5 cycles per IMUL, 19 per IDIV.
+        b = ChunkBuilder("muldiv")
+        b.imul(1, 1)
+        b.idiv(2, 2)
+        b.ialu(3, 3)
+        chunk = b.build()
+        base = schedule_inorder(chunk, UNIT_INT_LAT, key="unit")
+        tuned = schedule_inorder(chunk, R10K_INT_LAT, key="r10k")
+        assert base.steady_cycles == 3
+        assert tuned.steady_cycles == 5 + 19 + 1
+
+    def test_mem_offsets_monotone(self):
+        b = ChunkBuilder("mo")
+        b.load(1)
+        b.ialu(2, 1)
+        b.store(value_reg=2)
+        chunk = b.build()
+        sched = schedule_inorder(chunk, UNIT_INT_LAT, key="unit")
+        assert list(sched.mem_offsets) == [0.0, 2.0]
+
+
+class TestOooSchedule:
+    def test_parallel_work_exploits_width(self):
+        b = ChunkBuilder("ilp")
+        for i in range(16):
+            b.ialu(1 + (i % 8), 1 + (i % 8))
+        chunk = b.build()
+        sched = schedule_chunk(chunk, make_timing(key="w4"))
+        # 16 independent single-cycle ops on 2 integer units -> ~8 cycles.
+        assert sched.steady_cycles <= 9
+        assert sched.ipc_steady >= 1.7
+
+    def test_serial_chain_bound_by_latency(self):
+        b = ChunkBuilder("chain")
+        b.compute_chain([Op.FADD] * 8, reg=1)
+        chunk = b.build()
+        sched = schedule_chunk(chunk, make_timing(key="w4b"))
+        # 8 dependent 2-cycle FADDs: at least 16 cycles.
+        assert sched.steady_cycles >= 15
+
+    def test_width_one_is_slower_than_width_four(self):
+        b = ChunkBuilder("w")
+        for i in range(12):
+            b.ialu(1 + (i % 6), 1 + (i % 6))
+        chunk = b.build()
+        wide = schedule_chunk(chunk, make_timing(key="w4c", width=4))
+        narrow = schedule_chunk(chunk, make_timing(key="w1", width=1))
+        assert narrow.steady_cycles > wide.steady_cycles
+
+    def test_schedule_cached_per_timing_key(self):
+        b = ChunkBuilder("cache")
+        b.ialu(1, 1)
+        chunk = b.build()
+        s1 = schedule_chunk(chunk, make_timing(key="k1"))
+        s2 = schedule_chunk(chunk, make_timing(key="k1"))
+        assert s1 is s2
+
+    def test_divide_chain_dominates(self):
+        b = ChunkBuilder("div")
+        b.compute_chain([Op.IDIV] * 3, reg=2)
+        chunk = b.build()
+        sched = schedule_chunk(chunk, make_timing(key="divs"))
+        assert sched.steady_cycles >= 3 * 19 - 1
+
+    def test_mem_offsets_count_matches(self):
+        b = ChunkBuilder("mems")
+        b.load(1)
+        b.load(2)
+        b.store(value_reg=1)
+        chunk = b.build()
+        sched = schedule_chunk(chunk, make_timing(key="m"))
+        assert len(sched.mem_offsets) == 3
+        assert (sched.mem_offsets >= 0).all()
+
+    def test_funit_constraint_limits_ls_bandwidth(self):
+        # 8 independent loads but only one load/store unit -> >= 8 cycles.
+        b = ChunkBuilder("lsbw")
+        for i in range(8):
+            b.load(1 + i)
+        chunk = b.build()
+        sched = schedule_chunk(chunk, make_timing(key="ls"))
+        assert sched.steady_cycles >= 7
+
+
+class TestBranchProfile:
+    def test_loop_profile_no_steady_mispredicts(self):
+        assert BranchProfile("loop").mispredicts_per_branch() == 0.0
+
+    def test_data_profile_rate(self):
+        assert BranchProfile("data", 0.5).mispredicts_per_branch() == pytest.approx(0.5)
+        assert BranchProfile("data", 0.0).mispredicts_per_branch() == 0.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(WorkloadError):
+            BranchProfile("weird").mispredicts_per_branch()

@@ -1,0 +1,65 @@
+"""RunResult and phase-mark merging edge cases."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.trace import PhaseMark
+from repro.sim.results import RunResult, merge_phase_marks
+
+
+def make_result(spans, total=1000):
+    return RunResult(
+        config_name="c", workload_name="w", n_cpus=2, scale_name="tiny",
+        total_ps=total, phase_spans_ps=spans, instructions=10,
+        stats={"l20.misses": 5.0, "l21.misses": 7.0, "cpu0.barriers": 1.0},
+    )
+
+
+class TestRunResult:
+    def test_parallel_ps_uses_span(self):
+        r = make_result({PhaseMark.PARALLEL: (100, 600)})
+        assert r.parallel_ps == 500
+
+    def test_parallel_falls_back_to_total(self):
+        r = make_result({})
+        assert r.parallel_ps == r.total_ps
+
+    def test_stat_and_default(self):
+        r = make_result({})
+        assert r.stat("l20.misses") == 5.0
+        assert r.stat("absent", 42.0) == 42.0
+
+    def test_stat_total_sums_suffix(self):
+        r = make_result({})
+        assert r.stat_total(".misses") == 12.0
+
+    def test_describe_mentions_names(self):
+        text = make_result({PhaseMark.PARALLEL: (0, 10)}).describe()
+        assert "w" in text and "c" in text
+
+
+class TestMergePhaseMarks:
+    def test_earliest_begin_latest_end(self):
+        spans = merge_phase_marks([
+            [("parallel", True, 100), ("parallel", False, 500)],
+            [("parallel", True, 150), ("parallel", False, 800)],
+        ])
+        assert spans["parallel"] == (100, 800)
+
+    def test_marks_from_one_cpu_suffice(self):
+        spans = merge_phase_marks([
+            [("parallel", True, 10), ("parallel", False, 90)],
+            [],
+        ])
+        assert spans["parallel"] == (10, 90)
+
+    def test_missing_end_raises(self):
+        with pytest.raises(SimulationError):
+            merge_phase_marks([[("parallel", True, 10)]])
+
+    def test_multiple_phases(self):
+        spans = merge_phase_marks([[
+            ("init", True, 0), ("init", False, 10),
+            ("parallel", True, 10), ("parallel", False, 50),
+        ]])
+        assert spans == {"init": (0, 10), "parallel": (10, 50)}

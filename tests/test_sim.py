@@ -1,0 +1,196 @@
+"""Machine assembly, synchronization, configuration registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import TINY_SCALE
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.engine import Engine
+from repro.isa.trace import Barrier, ChunkExec, LockAcq, LockRel, PhaseMark
+from repro.sim import (
+    Machine,
+    get_config,
+    hardware_config,
+    run_workload,
+    simos_mipsy,
+    simos_mxs,
+    solo_mipsy,
+)
+from repro.sim.sync import SyncDomain
+from repro.vm.layout import VirtualLayout
+from repro.workloads.base import Workload
+from repro.workloads.builder import ChunkBuilder
+
+PAGE = TINY_SCALE.tlb.page_bytes
+
+
+class _TwoPhaseWorkload(Workload):
+    """All CPUs compute, meet at a barrier, compute again."""
+
+    name = "twophase"
+
+    def __init__(self, reps_by_cpu):
+        super().__init__(TINY_SCALE)
+        self.reps_by_cpu = reps_by_cpu
+
+    def build(self, n_cpus):
+        b = ChunkBuilder("tp")
+        for i in range(16):
+            b.ialu(1 + (i % 8), 1 + (i % 8))
+        chunk = b.build()
+        traces = []
+        for cpu in range(n_cpus):
+            reps = self.reps_by_cpu[cpu % len(self.reps_by_cpu)]
+            traces.append([
+                PhaseMark(PhaseMark.PARALLEL, True),
+                ChunkExec(chunk, reps=reps),
+                Barrier(1),
+                ChunkExec(chunk, reps=10),
+                PhaseMark(PhaseMark.PARALLEL, False),
+            ])
+        return traces
+
+
+class TestMachine:
+    def test_runs_and_reports_parallel_phase(self):
+        result = run_workload(simos_mipsy(150), _TwoPhaseWorkload([50]), 2,
+                              TINY_SCALE)
+        assert result.parallel_ps > 0
+        assert result.n_cpus == 2
+        assert result.instructions > 0
+
+    def test_barrier_makes_cpus_wait_for_slowest(self):
+        # One CPU does 10x the work before the barrier; total time is set
+        # by the slow one, not the sum.
+        slow = run_workload(simos_mipsy(150), _TwoPhaseWorkload([1000, 100]),
+                            2, TINY_SCALE)
+        uniform = run_workload(simos_mipsy(150), _TwoPhaseWorkload([1000]),
+                               2, TINY_SCALE)
+        assert slow.parallel_ps == pytest.approx(uniform.parallel_ps, rel=0.05)
+
+    def test_non_power_of_two_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(simos_mipsy(150), 3, TINY_SCALE)
+
+    def test_machine_is_single_use(self):
+        machine = Machine(simos_mipsy(150), 1, TINY_SCALE)
+        machine.run(_TwoPhaseWorkload([5]))
+        with pytest.raises(SimulationError):
+            machine.run(_TwoPhaseWorkload([5]))
+
+    def test_trace_count_mismatch_rejected(self):
+        class Bad(Workload):
+            name = "bad"
+
+            def build(self, n_cpus):
+                return [[]]  # always one trace
+
+        with pytest.raises(ConfigurationError):
+            run_workload(simos_mipsy(150), Bad(TINY_SCALE), 2, TINY_SCALE)
+
+    def test_deterministic_across_runs(self):
+        a = run_workload(hardware_config(), _TwoPhaseWorkload([200]), 2,
+                         TINY_SCALE)
+        b = run_workload(hardware_config(), _TwoPhaseWorkload([200]), 2,
+                         TINY_SCALE)
+        assert a.parallel_ps == b.parallel_ps
+
+
+class TestSyncDomain:
+    def test_lock_serializes(self):
+        env = Engine()
+        sync = SyncDomain(env, 2)
+        order = []
+
+        def worker(tag, hold):
+            yield sync.lock_acquire(7)
+            order.append((tag, env.now))
+            yield env.timeout(hold)
+            sync.lock_release(7)
+
+        env.process(worker("a", 100))
+        env.process(worker("b", 100))
+        env.run()
+        assert order[0][0] == "a"
+        assert order[1][1] >= order[0][1] + 100
+
+    def test_release_unacquired_lock_raises(self):
+        env = Engine()
+        sync = SyncDomain(env, 1)
+        with pytest.raises(SimulationError):
+            sync.lock_release(3)
+
+    def test_barrier_completion_removes_state(self):
+        env = Engine()
+        sync = SyncDomain(env, 2)
+        sync.barrier_arrive(1, 0)
+        assert sync.open_barriers() == 1
+        sync.barrier_arrive(1, 1)
+        assert sync.open_barriers() == 0
+
+    def test_locks_in_traces(self):
+        class LockedWorkload(Workload):
+            name = "locked"
+
+            def build(self, n_cpus):
+                b = ChunkBuilder("lk")
+                b.ialu(1, 1)
+                chunk = b.build()
+                traces = []
+                for _cpu in range(n_cpus):
+                    traces.append([
+                        PhaseMark(PhaseMark.PARALLEL, True),
+                        LockAcq(1),
+                        ChunkExec(chunk, reps=100),
+                        LockRel(1),
+                        PhaseMark(PhaseMark.PARALLEL, False),
+                    ])
+                return traces
+
+        result = run_workload(simos_mipsy(150), LockedWorkload(TINY_SCALE),
+                              4, TINY_SCALE)
+        # Four CPUs serialized on the lock: at least 4x one CPU's section.
+        single = run_workload(simos_mipsy(150), LockedWorkload(TINY_SCALE),
+                              1, TINY_SCALE)
+        assert result.parallel_ps >= 3.5 * single.parallel_ps
+
+
+class TestConfigRegistry:
+    @pytest.mark.parametrize("name", [
+        "hardware", "embra", "simos-mxs-150", "simos-mxs-150-tuned",
+        "simos-mipsy-150", "simos-mipsy-225-tuned", "solo-mipsy-300",
+    ])
+    def test_round_trips_by_name(self, name):
+        config = get_config(name)
+        assert config.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_config("simics")
+
+    def test_tuned_configs_differ(self):
+        untuned = simos_mipsy(150, tuned=False)
+        tuned = simos_mipsy(150, tuned=True)
+        assert untuned.core.tlb_refill_cycles < tuned.core.tlb_refill_cycles
+        assert untuned.memsys_key != tuned.memsys_key
+
+    def test_solo_has_no_tlb_and_solo_allocator(self):
+        solo = solo_mipsy(225)
+        assert not solo.os_model.models_tlb
+        assert solo.os_model.allocator_kind == "solo"
+
+    def test_hardware_uses_r10k_and_hardware_memsys(self):
+        hw = hardware_config()
+        assert hw.core.model == "r10k"
+        assert hw.memsys_key == "hardware"
+        assert hw.core.ilp_derate_factor > 1.0
+
+    def test_memsys_override_wins(self):
+        from repro.memsys.params import numa
+        cfg = simos_mipsy(225).with_memsys_override(numa(), "-numa")
+        params = cfg.memsys_params(4)
+        assert not params.model_pp_occupancy
+
+    def test_mxs_untuned_has_no_port_occupancy(self):
+        assert simos_mxs(tuned=False).core.l2_port_occupancy_cycles == 0
+        assert simos_mxs(tuned=True).core.l2_port_occupancy_cycles > 0

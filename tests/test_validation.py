@@ -1,0 +1,156 @@
+"""Validation-framework tests: metrics, comparison, tuning, bugs, reports."""
+
+import pytest
+
+from repro.common.config import REPRO_SCALE, TINY_SCALE
+from repro.sim import hardware_config, simos_mipsy, simos_mxs
+from repro.validation import (
+    CACHEOP_BUG,
+    CacheFlushWorkload,
+    FAST_ISSUE_BUG,
+    ReferenceCache,
+    Tuner,
+    compare_simulators,
+    demonstrate_bug,
+    get_bug,
+    mean_abs_percent_error,
+    percent_error,
+    rank_order_preserved,
+    relative_time,
+    speedup,
+    speedup_study,
+    trend_agreement,
+)
+from repro.validation.report import bar_chart, kv_table, line_chart
+from repro.workloads import make_app
+
+
+class TestMetrics:
+    def test_relative_time(self):
+        assert relative_time(50, 100) == 0.5
+        with pytest.raises(ValueError):
+            relative_time(1, 0)
+
+    def test_percent_error_signs(self):
+        assert percent_error(80, 100) == pytest.approx(-20.0)
+        assert percent_error(130, 100) == pytest.approx(30.0)
+
+    def test_mean_abs_percent_error(self):
+        assert mean_abs_percent_error([(80, 100), (120, 100)]) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            mean_abs_percent_error([])
+
+    def test_speedup_needs_uniprocessor(self):
+        assert speedup({1: 100, 4: 25}) == {1: 1.0, 4: 4.0}
+        with pytest.raises(ValueError):
+            speedup({2: 50, 4: 25})
+
+    def test_trend_agreement_zero_when_identical(self):
+        curve = {1: 1.0, 4: 3.5, 16: 9.0}
+        assert trend_agreement(curve, curve) == 0.0
+        off = {1: 1.0, 4: 3.5, 16: 13.5}
+        assert trend_agreement(off, curve) == pytest.approx(0.25)
+
+    def test_rank_order(self):
+        assert rank_order_preserved([1.0, 2.0, 3.0], [10, 20, 30])
+        assert not rank_order_preserved([1.0, 3.0, 2.0], [10, 20, 30])
+
+
+class TestComparison:
+    def test_reference_cache_reuses_gold_runs(self):
+        cache = ReferenceCache()
+        workload = make_app("lu", TINY_SCALE)
+        a = cache.run(workload, 1, TINY_SCALE)
+        b = cache.run(workload, 1, TINY_SCALE)
+        assert a is b
+
+    def test_compare_produces_rows_per_pair(self):
+        table = compare_simulators(
+            [simos_mipsy(150), simos_mipsy(300)],
+            [make_app("lu", TINY_SCALE)],
+            n_cpus=1, scale=TINY_SCALE,
+        )
+        assert len(table.rows) == 2
+        faster = table.relative_of("lu", "simos-mipsy-300")
+        slower = table.relative_of("lu", "simos-mipsy-150")
+        assert faster < slower
+
+    def test_format_contains_all_configs(self):
+        table = compare_simulators(
+            [simos_mipsy(150)], [make_app("lu", TINY_SCALE)],
+            n_cpus=1, scale=TINY_SCALE,
+        )
+        text = table.format()
+        assert "simos-mipsy-150" in text and "lu" in text
+
+
+class TestTuner:
+    def test_fit_converges_and_sets_tlb(self):
+        tuned, report = Tuner(scale=REPRO_SCALE).fit(simos_mipsy(150))
+        assert report.max_case_error() < 0.05
+        assert tuned.core.tlb_refill_cycles > 50
+        assert tuned.core.l2_port_occupancy_cycles > 5
+        assert tuned.memsys_override is not None
+
+    def test_report_format_mentions_cases(self):
+        _tuned, report = Tuner(scale=REPRO_SCALE).fit(simos_mipsy(150))
+        text = report.format()
+        assert "local_clean" in text and "TLB refill" in text
+
+
+class TestBugs:
+    def test_registry_lookup(self):
+        assert get_bug("fast-issue") is FAST_ISSUE_BUG
+        assert get_bug("cacheop-retry") is CACHEOP_BUG
+        from repro.common.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            get_bug("heisenbug")
+
+    def test_fast_issue_injection_changes_core(self):
+        buggy = FAST_ISSUE_BUG.inject(simos_mxs())
+        assert buggy.core.fast_issue_bug_factor < 1.0
+
+    def test_cacheop_demonstration_distorts_time(self):
+        demo = demonstrate_bug(
+            CACHEOP_BUG, simos_mxs(),
+            CacheFlushWorkload(TINY_SCALE, n_lines=32, flush_every=16,
+                               compute_reps=50),
+            scale=TINY_SCALE)
+        assert demo.distortion > 0.5  # the 1M-cycle stalls dominate here
+
+
+class TestTrendStudies:
+    def test_speedup_study_shapes(self):
+        study = speedup_study(
+            [simos_mipsy(150)], make_app("lu", TINY_SCALE),
+            cpu_counts=(1, 4), scale=TINY_SCALE)
+        curve = study.curve_of("simos-mipsy-150")
+        assert curve.at(1) == 1.0
+        assert curve.at(4) > 1.5
+
+    def test_trend_errors_require_reference(self):
+        study = speedup_study(
+            [simos_mipsy(150), simos_mipsy(300)],
+            make_app("lu", TINY_SCALE), cpu_counts=(1, 4), scale=TINY_SCALE)
+        errors = study.trend_errors("simos-mipsy-150")
+        assert set(errors) == {"simos-mipsy-300"}
+
+
+class TestReport:
+    def test_bar_chart_contains_reference_tick(self):
+        chart = bar_chart("t", ["a", "b"], [0.5, 1.5])
+        assert "reference" in chart and "#" in chart
+
+    def test_line_chart_renders_series(self):
+        chart = line_chart("s", [1, 4], {"hw": {1: 1.0, 4: 3.9}})
+        assert "hw" in chart and "(processors)" in chart
+
+    def test_kv_table_alignment(self):
+        table = kv_table("t", [["a", "1"], ["bb", "22"]], ["k", "v"])
+        lines = table.splitlines()
+        assert len(lines) == 5
+        assert lines[1].startswith("k")
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])

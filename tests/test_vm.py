@@ -1,0 +1,142 @@
+"""Unit tests for virtual layout and page allocators."""
+
+import pytest
+
+from repro.common.config import TINY_SCALE
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.vm import (
+    IrixColoringAllocator,
+    Placement,
+    RandomColorAllocator,
+    SoloSequentialAllocator,
+    VirtualLayout,
+    make_allocator,
+)
+
+PAGE = TINY_SCALE.tlb.page_bytes
+COLORS = TINY_SCALE.l2_colors
+
+
+class TestVirtualLayout:
+    def test_regions_page_aligned_and_disjoint(self):
+        layout = VirtualLayout(PAGE)
+        a = layout.add("a", 1000)
+        b = layout.add("b", 1000)
+        assert a.base % PAGE == 0 and b.base % PAGE == 0
+        assert b.base >= a.end
+
+    def test_alignment_honoured(self):
+        layout = VirtualLayout(PAGE)
+        layout.add("pad", 100)
+        r = layout.add("big", 4096, align=1 << 20)
+        assert r.base % (1 << 20) == 0
+
+    def test_gap_pages_shift_base(self):
+        layout = VirtualLayout(PAGE)
+        a = layout.add("a", PAGE)
+        b = layout.add("b", PAGE, gap_pages=3)
+        assert b.base == a.end + 3 * PAGE
+
+    def test_pad_to_rounds_size(self):
+        layout = VirtualLayout(PAGE)
+        r = layout.add("r", 1000, pad_to=PAGE * 4)
+        assert r.size == PAGE * 4
+
+    def test_addr_bounds_checked(self):
+        layout = VirtualLayout(PAGE)
+        r = layout.add("r", 100)
+        assert r.addr(0) == r.base
+        with pytest.raises(WorkloadError):
+            r.addr(100)
+
+    def test_duplicate_region_rejected(self):
+        layout = VirtualLayout(PAGE)
+        layout.add("x", 10)
+        with pytest.raises(WorkloadError):
+            layout.add("x", 10)
+
+
+class TestIrixColoring:
+    def test_physical_color_matches_virtual(self):
+        alloc = IrixColoringAllocator(TINY_SCALE, n_nodes=2)
+        for vpn in (0, 1, COLORS, COLORS + 5, 7 * COLORS + 3):
+            pfn = alloc.allocate(vpn, touch_node=1)
+            assert alloc.color_of_frame(pfn) == vpn % COLORS
+
+    def test_frames_unique(self):
+        alloc = IrixColoringAllocator(TINY_SCALE, n_nodes=1)
+        frames = [alloc.allocate(vpn, 0) for vpn in range(100)]
+        assert len(set(frames)) == 100
+
+    def test_congruent_vpns_get_congruent_frames(self):
+        # Two virtually congruent arrays collide physically: the Radix story.
+        alloc = IrixColoringAllocator(TINY_SCALE, n_nodes=1)
+        a = alloc.allocate(0, 0)
+        b = alloc.allocate(COLORS * 10, 0)
+        assert alloc.color_of_frame(a) == alloc.color_of_frame(b)
+
+
+class TestSoloSequential:
+    def test_sequential_frames_in_touch_order(self):
+        alloc = SoloSequentialAllocator(TINY_SCALE, n_nodes=1)
+        frames = [alloc.allocate(vpn, 0) for vpn in (9, 3, 77)]
+        assert frames == [frames[0], frames[0] + 1, frames[0] + 2]
+
+    def test_gap_pages_do_not_consume_frames(self):
+        # Virtual gaps shift IRIX colors but not Solo colors.
+        solo = SoloSequentialAllocator(TINY_SCALE, n_nodes=1)
+        f1 = solo.allocate(0, 0)
+        f2 = solo.allocate(50, 0)  # vpn 1..49 never touched
+        assert f2 == f1 + 1
+
+    def test_per_node_pools_independent(self):
+        alloc = SoloSequentialAllocator(TINY_SCALE, n_nodes=2)
+        f0 = alloc.allocate(0, 0)
+        f1 = alloc.allocate(1, 1)
+        assert f0 // alloc.frames_per_node == 0
+        assert f1 // alloc.frames_per_node == 1
+
+
+class TestPlacement:
+    def test_first_touch_uses_touching_node(self):
+        alloc = SoloSequentialAllocator(TINY_SCALE, 4, Placement.FIRST_TOUCH)
+        pfn = alloc.allocate(0, touch_node=3)
+        assert pfn // alloc.frames_per_node == 3
+
+    def test_node0_places_everything_on_node0(self):
+        # Placement disabled = the Figure 7 hotspot.
+        alloc = SoloSequentialAllocator(TINY_SCALE, 4, Placement.NODE0)
+        for vpn in range(10):
+            pfn = alloc.allocate(vpn, touch_node=vpn % 4)
+            assert pfn // alloc.frames_per_node == 0
+
+    def test_round_robin_cycles_nodes(self):
+        alloc = SoloSequentialAllocator(TINY_SCALE, 4, Placement.ROUND_ROBIN)
+        nodes = [alloc.allocate(vpn, 0) // alloc.frames_per_node
+                 for vpn in range(8)]
+        assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoloSequentialAllocator(TINY_SCALE, 4, "everywhere")
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        for kind, cls in (
+            ("irix", IrixColoringAllocator),
+            ("solo", SoloSequentialAllocator),
+            ("random", RandomColorAllocator),
+        ):
+            assert isinstance(make_allocator(kind, TINY_SCALE, 2), cls)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_allocator("buddy", TINY_SCALE, 2)
+
+    def test_random_allocator_deterministic(self):
+        a = RandomColorAllocator(TINY_SCALE, 1, seed=7)
+        b = RandomColorAllocator(TINY_SCALE, 1, seed=7)
+        assert [a.allocate(v, 0) for v in range(20)] == [
+            b.allocate(v, 0) for v in range(20)
+        ]

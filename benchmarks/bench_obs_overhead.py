@@ -1,0 +1,106 @@
+"""Tracer-off vs. tracer-on overhead of the observability subsystem.
+
+Two measurements on a small Ocean run (the reference run of the
+observability acceptance gate):
+
+* **disabled path** -- the instrumented simulator with no tracer
+  installed.  Every hook is a module/local load plus an ``is not None``
+  test; we time the guard directly and project its share of the run from
+  the number of spans an enabled run records.  The projection must stay
+  under 5% of the reference run time.
+* **enabled path** -- the same run with a recorder installed.  Tracing is
+  allowed to cost real time (it records one span per stall/transaction)
+  but must stay within a small constant factor of the baseline.
+
+Runs under pytest (``pytest benchmarks/bench_obs_overhead.py -s``; marked
+``slow``) or directly (``python benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.config import get_scale
+from repro.obs import hooks as obs_hooks
+from repro.obs.trace import TraceRecorder
+from repro.sim.configs import get_config
+from repro.sim.machine import run_workload
+from repro.workloads import make_app
+
+#: Enabled run may cost at most this factor over the disabled run.
+MAX_ENABLED_RATIO = 4.0
+#: Projected disabled-guard overhead must stay under this share of a run.
+MAX_DISABLED_OVERHEAD = 0.05
+#: Guards executed per recorded span is bounded by a small constant: every
+#: span is recorded behind exactly one guard, and hit-path guards that
+#: record nothing are at most a handful per span-producing event.
+GUARDS_PER_SPAN = 8.0
+
+
+def _reference_run(tracer=None):
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150-tuned")
+    workload = make_app("ocean", scale)
+    start = time.perf_counter()
+    if tracer is not None:
+        with obs_hooks.tracing(tracer):
+            run_workload(config, workload, 2, scale)
+    else:
+        run_workload(config, workload, 2, scale)
+    return time.perf_counter() - start
+
+
+def _time_guard(iterations: int = 1_000_000) -> float:
+    """Seconds per disabled-path guard (module load + is-not-None test)."""
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if obs_hooks.active is not None:  # the disabled fast path
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed / iterations
+
+
+def measure():
+    assert obs_hooks.active is None, "benchmark requires tracing disabled"
+    t_off = min(_reference_run() for _ in range(3))
+    recorder = TraceRecorder(capacity=4096)
+    t_on = min(
+        _reference_run(TraceRecorder(capacity=4096)),
+        _reference_run(recorder),
+    )
+    guard_s = _time_guard()
+    projected = recorder.recorded * GUARDS_PER_SPAN * guard_s
+    return {
+        "t_off_s": t_off,
+        "t_on_s": t_on,
+        "ratio": t_on / t_off,
+        "guard_ns": guard_s * 1e9,
+        "spans": recorder.recorded,
+        "disabled_overhead_fraction": projected / t_off,
+    }
+
+
+@pytest.mark.slow
+def test_obs_overhead():
+    m = measure()
+    print()
+    print(f"tracer off : {m['t_off_s'] * 1e3:8.1f} ms")
+    print(f"tracer on  : {m['t_on_s'] * 1e3:8.1f} ms  ({m['ratio']:.2f}x)")
+    print(f"guard cost : {m['guard_ns']:8.1f} ns "
+          f"({m['spans']} spans/run -> projected disabled overhead "
+          f"{100 * m['disabled_overhead_fraction']:.2f}%)")
+    assert m["disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-tracer guards exceed the 5% budget on the reference run"
+    )
+    assert m["ratio"] <= MAX_ENABLED_RATIO, (
+        f"enabled tracing costs {m['ratio']:.2f}x, "
+        f"budget is {MAX_ENABLED_RATIO}x"
+    )
+
+
+if __name__ == "__main__":
+    test_obs_overhead()

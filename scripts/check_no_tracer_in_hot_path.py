@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Lint: no unconditional tracer calls in the engine dispatch loop.
+
+The observability contract (DESIGN.md, "Observability") is that tracing
+costs nothing when disabled.  The dispatch loop in
+``src/repro/engine/kernel.py`` runs once per calendar event -- the hottest
+code in the simulator -- so every ``record``/``record_now`` call there
+must sit behind an ``... is not None`` guard on a local.  This script
+greps for violations; ``tests/test_obs_tooling.py`` runs it in the suite.
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Files whose every trace call must be guarded.  The engine kernel is the
+#: contractual one; the core models are included because their inner loops
+#: run once per memory reference.
+HOT_PATH_FILES = (
+    "src/repro/engine/kernel.py",
+    "src/repro/cpu/core.py",
+    "src/repro/cpu/mipsy.py",
+    "src/repro/cpu/window.py",
+    "src/repro/cpu/interface.py",
+    "src/repro/mem/cache.py",
+    "src/repro/mem/tlb.py",
+)
+
+_TRACE_CALL = re.compile(r"\.(record|record_now)\s*\(")
+_GUARD = re.compile(r"if\s+\w+(\.\w+)*\s+is\s+not\s+None")
+#: How many preceding lines may separate the guard from the call (the call
+#: plus its wrapped arguments must start right under the guard).
+_GUARD_WINDOW = 4
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, line)`` for every unguarded trace call."""
+    violations = []
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        if not _TRACE_CALL.search(line):
+            continue
+        window = lines[max(0, i - _GUARD_WINDOW):i]
+        if not any(_GUARD.search(prev) for prev in window):
+            violations.append((i + 1, line.strip()))
+    return violations
+
+
+def main(argv=None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    targets = [root / rel for rel in HOT_PATH_FILES]
+    failed = False
+    for target in targets:
+        for lineno, line in check_file(target):
+            failed = True
+            print(f"{target.relative_to(root)}:{lineno}: "
+                  f"unguarded tracer call in hot path: {line}")
+    if failed:
+        print("observability contract broken: guard every tracer call with "
+              "`if <tracer> is not None` (see repro/obs/hooks.py)")
+        return 1
+    print(f"ok: {len(targets)} hot-path files, all tracer calls guarded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

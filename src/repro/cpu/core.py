@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.stats import CounterSet, StatsRegistry
+from repro.obs import hooks as obs_hooks
 from repro.cpu.base import CoreParams
 from repro.cpu.interface import CpuMemInterface
 from repro.isa.trace import (
@@ -83,26 +84,48 @@ class CpuCore:
             elif kind is Barrier:
                 yield from self._drain_writes()
                 yield from self._sync_to_local_time()
+                arrived_ps = self.time_ps()
                 yield sync.barrier_arrive(item.bid, self.node)
                 self._catch_up_to_engine()
                 self.stats.add("barriers")
+                tracer = obs_hooks.active
+                if tracer is not None:
+                    tracer.record(arrived_ps, obs_hooks.SYNC, "barrier_wait",
+                                  self.time_ps() - arrived_ps,
+                                  {"cpu": self.node, "bid": item.bid})
             elif kind is LockAcq:
                 yield from self._sync_to_local_time()
+                arrived_ps = self.time_ps()
                 yield sync.lock_acquire(item.lid)
                 self._catch_up_to_engine()
                 self.stats.add("lock_acquires")
+                tracer = obs_hooks.active
+                if tracer is not None:
+                    tracer.record(arrived_ps, obs_hooks.SYNC, "lock_wait",
+                                  self.time_ps() - arrived_ps,
+                                  {"cpu": self.node, "lid": item.lid})
             elif kind is LockRel:
                 yield from self._sync_to_local_time()
                 sync.lock_release(item.lid)
             elif kind is PhaseMark:
                 self.phase_marks.append((item.name, item.begin, self.time_ps()))
             elif kind is SyscallOp:
-                self.cycles += self.os_model.syscall_cost(item.service)
+                cost = self.os_model.syscall_cost(item.service)
+                self.cycles += cost
                 self.stats.add("syscalls")
+                tracer = obs_hooks.active
+                if tracer is not None:
+                    tracer.record(self.time_ps(), obs_hooks.OS, "syscall",
+                                  int(cost * self.cycle_ps), self.node)
             else:
                 raise SimulationError(f"unknown trace item {item!r}")
         yield from self._drain_writes()
         self.stats.set("final_cycles", self.cycles)
+        tracer = obs_hooks.active
+        if tracer is not None:
+            # The per-CPU total span: denominator of the attribution table.
+            tracer.record(self._start_ps, obs_hooks.CPU, "total",
+                          self.time_ps() - self._start_ps, self.node)
 
     def _drain_writes(self):
         """Wait out the write buffer (stores must be globally visible at
@@ -126,4 +149,9 @@ class CpuCore:
     def _charge_os_tick(self, chunk_cycles: float) -> None:
         factor = self.os_model.tick_overhead_factor
         if factor:
-            self.cycles += chunk_cycles * factor
+            overhead = chunk_cycles * factor
+            self.cycles += overhead
+            tracer = obs_hooks.active
+            if tracer is not None:
+                tracer.record(self.time_ps(), obs_hooks.OS, "tick",
+                              int(overhead * self.cycle_ps), self.node)

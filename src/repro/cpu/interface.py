@@ -33,6 +33,7 @@ from repro.mem.page_table import PageTable
 from repro.mem.tlb import Tlb
 from repro.mem.write_buffer import WriteBuffer
 from repro.memsys.dsm import DsmMemorySystem, MemKind
+from repro.obs import hooks as obs_hooks
 
 # classify() outcomes.
 HIT = 0        #: satisfied locally, no cost beyond the scheduled cycle
@@ -115,6 +116,11 @@ class CpuMemInterface:
                     tlb_map.popitem(last=False)
                     tlb.stats.add("evictions")
                 tlb_map[vpn] = True
+                tracer = obs_hooks.active
+                if tracer is not None:
+                    # Mirrors Tlb.lookup's instant (this path inlines it).
+                    tracer.record_now(obs_hooks.TLB, "miss", 0,
+                                      {"cpu": self.node, "vpn": vpn})
         paddr = self.page_table.translate(vaddr, self.node)
 
         if op == _CACHEOP:
@@ -172,6 +178,9 @@ class CpuMemInterface:
         self._mshr[line2] = event
         event.add_waiter(lambda _ev, line=line2: self._mshr.pop(line, None))
         self.stats.add(self._issue_label[kind])
+        tracer = obs_hooks.active
+        if tracer is not None:
+            tracer.record_now(obs_hooks.MEM, f"issue.{kind}", 0, self.node)
         return event
 
     # -- secondary-cache interface occupancy ------------------------------

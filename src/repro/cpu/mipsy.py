@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.cpu.core import CpuCore
 from repro.cpu.interface import HIT, L2_HIT, MISS, NOOP, PENDING
+from repro.obs import hooks as obs_hooks
 from repro.isa.opcodes import Op
 from repro.isa.schedule import schedule_inorder
 from repro.isa.trace import ChunkExec
@@ -63,6 +64,12 @@ class MipsyCore(CpuCore):
         l2_hit_cycles = self.params.l2_hit_cycles
         wb = iface.write_buffer
         env = self.env
+        # Observability: hoisted once per chunk so the disabled path costs
+        # one local None-test per stall event (never per reference).
+        tracer = obs_hooks.active
+        node = self.node
+        cycle_ps = self.cycle_ps
+        start_ps = self._start_ps
 
         for row in ce.addrs.tolist():
             base = self.cycles
@@ -73,11 +80,21 @@ class MipsyCore(CpuCore):
                 if tlb_miss:
                     stall += tlb_refill
                     self.stats.add("tlb_refills")
+                    if tracer is not None:
+                        tracer.record(
+                            start_ps + int((base + offsets[j]) * cycle_ps),
+                            obs_hooks.TLB, "refill",
+                            int(tlb_refill * cycle_ps), node)
                 if outcome == HIT or outcome == NOOP:
                     continue
                 pt = base + offsets[j] + stall
                 if outcome == L2_HIT:
-                    stall += l2_hit_cycles + port_wait(pt)
+                    wait = l2_hit_cycles + port_wait(pt)
+                    stall += wait
+                    if tracer is not None:
+                        tracer.record(start_ps + int(pt * cycle_ps),
+                                      obs_hooks.MEM, "l2_hit",
+                                      int(wait * cycle_ps), node)
                     continue
                 if outcome == PENDING:
                     # A prefetched (or otherwise in-flight) line: loads wait
@@ -88,6 +105,11 @@ class MipsyCore(CpuCore):
                         done_c = self.cycles_at(done_ps)
                         if done_c > pt:
                             stall = done_c - (base + offsets[j])
+                            if tracer is not None:
+                                tracer.record(start_ps + int(pt * cycle_ps),
+                                              obs_hooks.MEM, "pending_wait",
+                                              int((done_c - pt) * cycle_ps),
+                                              node)
                         iface.port_fill_at(max(done_c, pt))
                     continue
                 # MISS
@@ -106,6 +128,11 @@ class MipsyCore(CpuCore):
                     iface.port_fill_at(done_c)
                     stall = done_c - (base + offsets[j])
                     self.stats.add("load_miss_waits")
+                    if tracer is not None:
+                        tracer.record(start_ps + int(pt * cycle_ps),
+                                      obs_hooks.MEM, "load_miss",
+                                      max(0, int((done_c - pt) * cycle_ps)),
+                                      node)
                 elif op == _STORE:
                     wb.reap()
                     if wb.full:
@@ -114,10 +141,19 @@ class MipsyCore(CpuCore):
                         wait = self.cycles_at(done_ps) - pt
                         if wait > 0:
                             stall += wait
+                            if tracer is not None:
+                                tracer.record(start_ps + int(pt * cycle_ps),
+                                              obs_hooks.MEM, "wb_full",
+                                              int(wait * cycle_ps), node)
                         self.stats.add("wb_full_stalls")
                     wb.add(issue_miss(payload, kind))
                 else:  # PREFETCH
                     issue_miss(payload, kind)
                     self.stats.add("prefetches_issued")
             self.cycles = base + per_rep + stall
+        if tracer is not None:
+            tracer.record(start_ps + int(chunk_start_cycles * cycle_ps),
+                          obs_hooks.CPU, f"chunk:{chunk.name}",
+                          int((self.cycles - chunk_start_cycles) * cycle_ps),
+                          node)
         self._charge_os_tick(self.cycles - chunk_start_cycles)

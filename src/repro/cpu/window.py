@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from repro.cpu.core import CpuCore
 from repro.cpu.interface import HIT, L2_HIT, MISS, NOOP, PENDING
+from repro.obs import hooks as obs_hooks
 from repro.isa.chunk import Chunk
 from repro.isa.opcodes import Op
 from repro.isa.schedule import CoreTiming, schedule_chunk
@@ -127,6 +128,12 @@ class WindowCore(CpuCore):
         chase_hide = p.chase_hide_cycles
         max_out = p.max_outstanding
         wb = iface.write_buffer
+        # Observability: hoisted once per chunk so the disabled path costs
+        # one local None-test per stall event (never per reference).
+        tracer = obs_hooks.active
+        node = self.node
+        cycle_ps = self.cycle_ps
+        start_ps = self._start_ps
 
         for row in ce.addrs.tolist():
             base = self.cycles
@@ -137,12 +144,22 @@ class WindowCore(CpuCore):
                 if tlb_miss:
                     stall += tlb_refill
                     self.stats.add("tlb_refills")
+                    if tracer is not None:
+                        tracer.record(
+                            start_ps + int((base + offsets[j]) * cycle_ps),
+                            obs_hooks.TLB, "refill",
+                            int(tlb_refill * cycle_ps), node)
                 if outcome == HIT or outcome == NOOP:
                     continue
                 pt = base + offsets[j] + stall
                 if outcome == L2_HIT:
-                    stall += max(0.0, l2_hit_cycles - self._l2_hit_hide)
-                    stall += port_wait(pt)
+                    wait = max(0.0, l2_hit_cycles - self._l2_hit_hide)
+                    wait += port_wait(pt)
+                    stall += wait
+                    if tracer is not None and wait > 0:
+                        tracer.record(start_ps + int(pt * cycle_ps),
+                                      obs_hooks.MEM, "l2_hit",
+                                      int(wait * cycle_ps), node)
                     continue
                 if outcome == PENDING:
                     if op == _LOAD:
@@ -151,6 +168,10 @@ class WindowCore(CpuCore):
                         exposed = done_c - pt - chase_hide
                         if exposed > 0:
                             stall += exposed
+                            if tracer is not None:
+                                tracer.record(start_ps + int(pt * cycle_ps),
+                                              obs_hooks.MEM, "pending_wait",
+                                              int(exposed * cycle_ps), node)
                         iface.port_fill_at(max(done_c, pt))
                     continue
                 # MISS
@@ -162,6 +183,10 @@ class WindowCore(CpuCore):
                         wait = self.cycles_at(done_ps) - pt
                         if wait > 0:
                             stall += wait
+                            if tracer is not None:
+                                tracer.record(start_ps + int(pt * cycle_ps),
+                                              obs_hooks.MEM, "wb_full",
+                                              int(wait * cycle_ps), node)
                         self.stats.add("wb_full_stalls")
                     wb.add(issue_miss(payload, kind))
                     continue
@@ -179,6 +204,10 @@ class WindowCore(CpuCore):
                     exposed = done_c - pt - chase_hide
                     if exposed > 0:
                         stall += exposed
+                        if tracer is not None:
+                            tracer.record(start_ps + int(pt * cycle_ps),
+                                          obs_hooks.MEM, "chase_miss",
+                                          int(exposed * cycle_ps), node)
                     self.stats.add("chase_miss_waits")
                     continue
                 # Independent load or prefetch: overlap within slot limit.
@@ -192,6 +221,10 @@ class WindowCore(CpuCore):
                     wait = done_c - pt
                     if wait > 0:
                         stall += wait
+                        if tracer is not None:
+                            tracer.record(start_ps + int(pt * cycle_ps),
+                                          obs_hooks.MEM, "slot_full",
+                                          int(wait * cycle_ps), node)
                         pt = base + offsets[j] + stall
                     self.stats.add("slot_full_stalls")
                 event = issue_miss(payload, kind)
@@ -201,7 +234,16 @@ class WindowCore(CpuCore):
                     exposed = self._miss_ema - hide
                     if exposed > 0:
                         stall += exposed
+                        if tracer is not None:
+                            tracer.record(start_ps + int(pt * cycle_ps),
+                                          obs_hooks.MEM, "miss_exposed",
+                                          int(exposed * cycle_ps), node)
             self.cycles = base + per_rep + stall
+        if tracer is not None:
+            tracer.record(start_ps + int(chunk_start_cycles * cycle_ps),
+                          obs_hooks.CPU, f"chunk:{chunk.name}",
+                          int((self.cycles - chunk_start_cycles) * cycle_ps),
+                          node)
         self._charge_os_tick(self.cycles - chunk_start_cycles)
 
 

@@ -85,6 +85,10 @@ class Engine:
         self.now: int = 0  # picoseconds
         self._pending_dispatch: list = []
         self.events_processed = 0
+        #: Optional observability sink (repro.obs).  The dispatch loop only
+        #: ever touches it behind an ``is not None`` guard so the disabled
+        #: path stays a single attribute test.
+        self.tracer = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -137,6 +141,10 @@ class Engine:
         when, _seq, fn, arg = heapq.heappop(self._heap)
         self.now = when
         self.events_processed += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(when, "engine",
+                          getattr(fn, "__qualname__", "callback"))
         fn(arg)
         self._drain_dispatch()
         return True

@@ -83,9 +83,9 @@ def run_experiment(exp_id: str,
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
         ) from None
-    start = time.time()
+    start = time.perf_counter()
     result = fn(scale)
-    result.wall_seconds = time.time() - start
+    result.wall_seconds = time.perf_counter() - start
     result.scale_name = scale.name
     return result
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.config import CacheGeometry
 from repro.common.stats import CounterSet
 from repro.mem.address import bit_length_shift
+from repro.obs import hooks as obs_hooks
 
 MODIFIED = "M"
 SHARED = "S"
@@ -50,6 +51,9 @@ class SetAssocCache:
         state = self._state.get(line)
         if state is None:
             self.stats.add("misses")
+            tracer = obs_hooks.active
+            if tracer is not None:
+                tracer.record_now(obs_hooks.CACHE, f"{self.name}.miss")
             return None
         self.stats.add("hits")
         ways = self._sets[line & self._set_mask]

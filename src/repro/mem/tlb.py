@@ -17,6 +17,7 @@ from typing import Optional
 from repro.common.config import TlbGeometry
 from repro.common.stats import CounterSet
 from repro.mem.address import bit_length_shift
+from repro.obs import hooks as obs_hooks
 
 
 class Tlb:
@@ -41,6 +42,11 @@ class Tlb:
             self._map.move_to_end(vpn)
             return True
         self.stats.add("misses")
+        tracer = obs_hooks.active
+        if tracer is not None:
+            # Instant only: the refill *cost* is a core property, so the
+            # timed refill span is recorded by the processor model.
+            tracer.record_now(obs_hooks.TLB, "miss", 0, {"vpn": vpn})
         return False
 
     def insert(self, vpn: int) -> None:

@@ -34,6 +34,7 @@ from repro.memsys.params import (
     REMOTE_DIRTY_REMOTE,
 )
 from repro.network.fabric import Network
+from repro.obs import hooks as obs_hooks
 from repro.proto.directory import DIRTY, SHARED, UNOWNED
 from repro.proto.magic import MagicController
 
@@ -145,6 +146,10 @@ class DsmMemorySystem:
         latency = env.now - start
         self.stats.add(self._case_label[case])
         self.stats.add(self._case_latency_label[case], latency)
+        tracer = obs_hooks.active
+        if tracer is not None:
+            tracer.record(start, obs_hooks.DSM, f"txn.{kind}", latency,
+                          {"node": node, "home": home, "case": case})
         return env.now
 
     def _do_clean(self, node: int, home: int, line: int, entry, kind: str):

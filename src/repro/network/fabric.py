@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 from repro.common.stats import CounterSet
 from repro.engine import Engine, Resource
 from repro.network.topology import Hypercube
+from repro.obs import hooks as obs_hooks
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ class Network:
         self.stats.add("flits", flits)
         if src == dst:
             return self.env.now
+        start = self.env.now
         hops = self.cube.route(src, dst)
         self.stats.add("hops", len(hops))
         occupancy = self.params.occupancy_ps(flits)
@@ -68,6 +70,13 @@ class Network:
             else:
                 yield self.env.timeout(occupancy)
             yield self.env.timeout(self.params.hop_ps)
+        tracer = obs_hooks.active
+        if tracer is not None:
+            # Delivery minus the uncontended bound = link contention.
+            tracer.record(start, obs_hooks.NET, "msg",
+                          self.env.now - start,
+                          {"src": src, "dst": dst, "flits": flits,
+                           "hops": len(hops)})
         return self.env.now
 
     def latency_bound_ps(self, src: int, dst: int, flits: int = 1) -> int:

@@ -1,0 +1,36 @@
+"""repro.obs -- the observability subsystem.
+
+The paper's methodology is *error attribution*: explaining simulator-vs-
+hardware gaps by breaking execution time into causes (TLB refill, L2
+interface occupancy, synchronisation imbalance, ...).  This package gives
+the reproduction the same visibility into itself:
+
+* :mod:`repro.obs.trace` -- a ring-buffered low-overhead span recorder;
+* :mod:`repro.obs.hooks` -- the module-level enable switch the simulator's
+  hot paths check (a single ``active is not None`` test when disabled);
+* :mod:`repro.obs.profile` -- folds recorded spans into a per-CPU
+  cycle-attribution breakdown attached to :class:`~repro.sim.results.RunResult`;
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (Perfetto) and a
+  flamegraph-style text summary;
+* :mod:`repro.obs.cli` -- ``python -m repro.obs <workload> --breakdown``.
+"""
+
+from repro.obs.trace import Span, TraceRecorder
+from repro.obs.hooks import install, is_enabled, tracing, uninstall
+from repro.obs.profile import CpuBreakdown, RunBreakdown, build_breakdown
+from repro.obs.export import chrome_trace, flame_summary, write_chrome_trace
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "install",
+    "uninstall",
+    "tracing",
+    "is_enabled",
+    "CpuBreakdown",
+    "RunBreakdown",
+    "build_breakdown",
+    "chrome_trace",
+    "flame_summary",
+    "write_chrome_trace",
+]

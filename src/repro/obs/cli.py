@@ -1,0 +1,93 @@
+"""``python -m repro.obs``: run one workload under the tracer.
+
+Mirrors the harness CLI shape::
+
+    python -m repro.obs fft --config simos-mipsy-150-tuned --cpus 4 \\
+        --trace out.json --breakdown
+
+and prints any combination of the cycle-attribution table
+(``--breakdown``), the flamegraph-style summary (``--flame``), the
+aggregate observability counters (``--obs-stats``), and writes a Perfetto-
+loadable Chrome trace (``--trace PATH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.config import get_scale
+from repro.obs import hooks
+from repro.obs.export import flame_summary, write_chrome_trace
+from repro.obs.trace import TraceRecorder
+from repro.sim.configs import get_config
+from repro.sim.machine import run_workload
+from repro.workloads import APP_NAMES, make_app
+
+DEFAULT_CONFIG = "simos-mipsy-150-tuned"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="trace one workload and attribute its simulated cycles",
+    )
+    parser.add_argument("workload", choices=APP_NAMES,
+                        help="application to run")
+    parser.add_argument("--config", default=DEFAULT_CONFIG,
+                        help="simulator configuration name "
+                             f"(default: {DEFAULT_CONFIG})")
+    parser.add_argument("--cpus", type=int, default=4,
+                        help="number of CPUs (power of two; default 4)")
+    parser.add_argument("--scale", default="repro",
+                        help="machine scale (paper, repro, tiny)")
+    parser.add_argument("--untuned-inputs", action="store_true",
+                        help="use the pre-fix application inputs")
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="trace ring capacity in spans (default 65536)")
+    parser.add_argument("--engine-events", action="store_true",
+                        help="also record raw event-calendar dispatches")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write Chrome trace-event JSON (Perfetto) here")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the per-CPU cycle-attribution table")
+    parser.add_argument("--flame", action="store_true",
+                        help="print a flamegraph-style span summary")
+    parser.add_argument("--obs-stats", action="store_true",
+                        help="print the aggregate observability counters")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    config = get_config(args.config)
+    workload = make_app(args.workload, scale,
+                        tuned_inputs=not args.untuned_inputs)
+    recorder = TraceRecorder(args.capacity, engine_events=args.engine_events)
+    with hooks.tracing(recorder):
+        result = run_workload(config, workload, args.cpus, scale)
+
+    print(result.describe())
+    print(f"traced {recorder.recorded} spans "
+          f"({recorder.dropped} dropped by the ring)")
+    if args.breakdown and result.breakdown is not None:
+        print()
+        print("cycle attribution (% of each CPU's time):")
+        print(result.breakdown.format_table())
+    if args.flame:
+        print()
+        print(flame_summary(recorder))
+    if args.obs_stats:
+        print()
+        for key, value in recorder.as_counter_set().items():
+            print(f"  {key} = {value:g}")
+    if args.trace:
+        write_chrome_trace(recorder, args.trace)
+        print(f"\nwrote {args.trace} (load it at https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""The enable switch and category vocabulary for instrumentation hooks.
+
+Hot simulator code never imports the recorder directly; it does::
+
+    from repro.obs import hooks as obs_hooks
+    ...
+    tracer = obs_hooks.active          # hoisted once per chunk/transaction
+    ...
+    if tracer is not None:             # the entire disabled-path cost
+        tracer.record(t_ps, obs_hooks.TLB, "refill", dur_ps, self.node)
+
+With tracing disabled (the default) ``active`` is ``None`` and every hook
+collapses to a local/module load plus an ``is not None`` test -- the no-op
+fast path the overhead benchmark (``benchmarks/bench_obs_overhead.py``)
+verifies.  ``scripts/check_no_tracer_in_hot_path.py`` lints that no
+``record`` call in the engine dispatch loop skips that guard.
+
+Categories map onto the paper's error-source taxonomy (see DESIGN.md):
+omissions show up as missing ``tlb``/``mem`` time, detail gaps as ``dsm``/
+``net`` occupancy, and bugs as anomalous ``cpu`` spans.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.trace import TraceRecorder
+
+# -- span categories -------------------------------------------------------
+
+CPU = "cpu"          #: per-chunk execution and per-CPU totals
+TLB = "tlb"          #: TLB misses and refill stalls
+MEM = "mem"          #: cache-hierarchy stalls (L2 hits, miss waits, WB)
+CACHE = "cache"      #: raw cache miss instants (per-structure)
+SYNC = "sync"        #: barrier/lock waits and arrivals
+OS = "os"            #: syscalls and kernel tick overhead
+DSM = "dsm"          #: memory-system transactions + MAGIC occupancy
+NET = "net"          #: interconnect messages
+ENGINE = "engine"    #: raw event-calendar dispatches (opt-in, voluminous)
+
+#: Categories the cycle-attribution profiler charges against each CPU's
+#: total; everything else is timeline-only detail.
+ATTRIBUTED = (TLB, MEM, SYNC, OS)
+
+#: The active recorder, or None when tracing is disabled.  Module-level on
+#: purpose: reading it is the cheapest guard Python offers short of
+#: deleting the call sites.
+active: Optional[TraceRecorder] = None
+
+
+def install(recorder: TraceRecorder) -> TraceRecorder:
+    """Enable tracing into *recorder* for subsequent simulator activity."""
+    global active
+    active = recorder
+    return recorder
+
+
+def uninstall() -> None:
+    """Disable tracing (restore the no-op fast path)."""
+    global active
+    active = None
+
+
+def is_enabled() -> bool:
+    return active is not None
+
+
+@contextmanager
+def tracing(recorder: Optional[TraceRecorder] = None, capacity: int = 65536,
+            engine_events: bool = False):
+    """Context manager: trace everything inside the block.
+
+    >>> with tracing() as rec:
+    ...     result = run_workload(config, workload, 2)
+    >>> rec.spans()
+    """
+    global active
+    rec = recorder if recorder is not None else TraceRecorder(
+        capacity, engine_events=engine_events)
+    previous = active
+    install(rec)
+    try:
+        yield rec
+    finally:
+        active = previous

@@ -1,0 +1,152 @@
+"""The span recorder: a fixed-capacity ring buffer of timed events.
+
+A :class:`Span` is ``(t_ps, category, name, dur_ps, args)``.  ``args`` is
+either ``None``, a bare CPU/node number, or a small dict (``{"cpu": n, ...}``);
+when a CPU can be identified the span also feeds a per-``(cpu, category,
+name)`` aggregate table that never wraps, so the cycle-attribution profiler
+(:mod:`repro.obs.profile`) stays exact even when the timeline ring has
+dropped old spans.
+
+The ring exists because tracing must be safe to leave on for long runs:
+memory use is bounded by ``capacity`` and old spans are overwritten, like
+the flight-recorder tracing in production simulators (Ramulator 2.0 keeps
+the same split between bounded event logs and unbounded counters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+
+class Span(NamedTuple):
+    """One recorded event: a duration (``dur_ps > 0``) or an instant."""
+
+    t_ps: int        #: start time, picoseconds of simulated time
+    category: str    #: coarse bucket ("tlb", "mem", "sync", "dsm", ...)
+    name: str        #: event name within the category ("refill", "load_miss")
+    dur_ps: int      #: duration in ps; 0 for instantaneous events
+    args: object     #: None, a cpu/node int, or a small dict of details
+
+    @property
+    def cpu(self) -> Optional[int]:
+        """The CPU this span belongs to, if one was recorded."""
+        return _cpu_of(self.args)
+
+
+def _cpu_of(args: object) -> Optional[int]:
+    if type(args) is int:
+        return args
+    if type(args) is dict:
+        cpu = args.get("cpu")
+        return cpu if type(cpu) is int else None
+    return None
+
+
+class TraceRecorder:
+    """Ring-buffered sink for :class:`Span` events.
+
+    The recorder itself is always cheap to *call*; the near-zero disabled
+    path lives one level up in :mod:`repro.obs.hooks`, where call sites
+    test a module global before touching the recorder at all.
+    """
+
+    def __init__(self, capacity: int = 65536, engine_events: bool = False):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: also feed raw engine dispatch events (one per calendar event --
+        #: voluminous; off by default).
+        self.engine_events = engine_events
+        self._buf: List[Optional[Span]] = [None] * capacity
+        self._next = 0          # total spans ever recorded
+        self._agg: Dict[Tuple[Optional[int], str, str], List[float]] = {}
+        self._engine = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind_engine(self, engine) -> None:
+        """Use *engine*'s clock for :meth:`record_now` timestamps."""
+        self._engine = engine
+
+    def now_ps(self) -> int:
+        """Current simulated time of the bound engine (0 when unbound)."""
+        return self._engine.now if self._engine is not None else 0
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, t_ps: int, category: str, name: str,
+               dur_ps: int = 0, args: object = None) -> None:
+        """Append one span, overwriting the oldest when the ring is full."""
+        i = self._next
+        self._buf[i % self.capacity] = Span(t_ps, category, name, dur_ps, args)
+        self._next = i + 1
+        key = (_cpu_of(args), category, name)
+        agg = self._agg.get(key)
+        if agg is None:
+            self._agg[key] = [1, dur_ps]
+        else:
+            agg[0] += 1
+            agg[1] += dur_ps
+
+    def record_now(self, category: str, name: str,
+                   dur_ps: int = 0, args: object = None) -> None:
+        """Like :meth:`record`, timestamped with the bound engine's clock.
+
+        For call sites (cache, TLB) that have no engine reference of their
+        own; without a bound engine the span lands at t=0.
+        """
+        self.record(self.now_ps(), category, name, dur_ps, args)
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (including any since overwritten)."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring wraparound."""
+        return max(0, self._next - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._next, self.capacity)
+
+    def spans(self) -> List[Span]:
+        """Retained spans, oldest first."""
+        if self._next <= self.capacity:
+            return [s for s in self._buf[:self._next]]
+        head = self._next % self.capacity
+        return self._buf[head:] + self._buf[:head]
+
+    def aggregates(self) -> Dict[Tuple[Optional[int], str, str], Tuple[int, int]]:
+        """``(cpu, category, name) -> (count, total_dur_ps)``, unwrapped."""
+        return {key: (int(v[0]), int(v[1])) for key, v in self._agg.items()}
+
+    def as_counter_set(self):
+        """The aggregate table as a :class:`~repro.common.stats.CounterSet`.
+
+        Keys follow the registry naming scheme (``cpu0.tlb.refill.dur_ps``),
+        built through :meth:`CounterSet.scoped`, so observability numbers
+        and simulator statistics read the same way.
+        """
+        from repro.common.stats import CounterSet
+
+        cs = CounterSet("obs")
+        for (cpu, category, name), (count, dur_ps) in self._agg.items():
+            prefix = category if cpu is None else f"cpu{cpu}.{category}"
+            scope = cs.scoped(prefix)
+            scope.add(f"{name}.events", count)
+            scope.add(f"{name}.dur_ps", dur_ps)
+        return cs
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._next = 0
+        self._agg.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecorder({len(self)}/{self.capacity} spans, "
+            f"{self.dropped} dropped)"
+        )

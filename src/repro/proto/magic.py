@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.common.stats import CounterSet
 from repro.engine import Engine, Resource
+from repro.obs import hooks as obs_hooks
 from repro.proto.directory import Directory
 
 
@@ -43,6 +44,12 @@ class MagicController:
         available via ``pp.requests``; per-label counting is skipped on
         this hot path.
         """
+        tracer = obs_hooks.active
+        if tracer is not None:
+            # MAGIC occupancy visibility: requested hold at request time
+            # (queueing delay shows up in the pp resource's wait_ps).
+            tracer.record(self.env.now, obs_hooks.DSM, f"pp.{label}",
+                          hold_ps, {"node": self.node})
         if not self.model_occupancy:
             return self.env.timeout(hold_ps)
         occ = int(hold_ps * self.pp_occ_fraction)

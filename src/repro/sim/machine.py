@@ -22,6 +22,8 @@ from repro.cpu import CpuMemInterface, make_core
 from repro.engine import Engine
 from repro.mem.page_table import PageTable
 from repro.memsys.dsm import DsmMemorySystem
+from repro.obs import hooks as obs_hooks
+from repro.obs.profile import build_breakdown
 from repro.sim.configs import SimulatorConfig
 from repro.sim.results import RunResult, merge_phase_marks
 from repro.sim.sync import SyncDomain
@@ -75,6 +77,11 @@ class Machine:
         if self._ran:
             raise SimulationError("a Machine is single-use; build a new one")
         self._ran = True
+        tracer = obs_hooks.active
+        if tracer is not None:
+            tracer.bind_engine(self.env)
+            if tracer.engine_events:
+                self.env.tracer = tracer
         traces = workload.build(self.n_cpus)
         if len(traces) != self.n_cpus:
             raise ConfigurationError(
@@ -94,7 +101,7 @@ class Machine:
         instructions = sum(
             core.stats["instructions"] for core in self.cores
         )
-        return RunResult(
+        result = RunResult(
             config_name=self.config.name,
             workload_name=workload.name,
             n_cpus=self.n_cpus,
@@ -104,6 +111,9 @@ class Machine:
             instructions=instructions,
             stats=self.registry.flat(),
         )
+        if tracer is not None:
+            result.breakdown = build_breakdown(tracer)
+        return result
 
 
 def run_workload(config: SimulatorConfig, workload, n_cpus: int = 1,

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.common.errors import SimulationError
 from repro.common.units import ps_to_ns
 from repro.isa.trace import PhaseMark
+
+if TYPE_CHECKING:  # pragma: no cover - import is typing-only
+    from repro.obs.profile import RunBreakdown
 
 
 @dataclass
@@ -22,6 +25,9 @@ class RunResult:
     phase_spans_ps: Dict[str, Tuple[int, int]]
     instructions: float
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Per-CPU cycle attribution (repro.obs); populated when the run
+    #: executed under an active tracer, else None.
+    breakdown: Optional["RunBreakdown"] = None
 
     @property
     def parallel_ps(self) -> int:

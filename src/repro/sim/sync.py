@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from repro.common.errors import SimulationError
 from repro.engine import Engine, Event, Resource
+from repro.obs import hooks as obs_hooks
 
 
 class SyncDomain:
@@ -36,9 +37,16 @@ class SyncDomain:
         state[0] += 1
         if state[0] > self.n_cpus:
             raise SimulationError(f"barrier {bid}: more arrivals than CPUs")
+        tracer = obs_hooks.active
+        if tracer is not None:
+            tracer.record(self.env.now, obs_hooks.SYNC, "barrier_arrive", 0,
+                          {"cpu": node, "bid": bid, "arrived": state[0]})
         if state[0] == self.n_cpus:
             state[1].succeed(self.env.now)
             del self._barriers[bid]
+            if tracer is not None:
+                tracer.record(self.env.now, obs_hooks.SYNC,
+                              "barrier_release", 0, {"bid": bid})
         return state[1]
 
     def lock_acquire(self, lid: int) -> Event:

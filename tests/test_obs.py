@@ -1,0 +1,281 @@
+"""Tests for the repro.obs observability subsystem."""
+
+import json
+
+import pytest
+
+from repro.common.config import get_scale
+from repro.common.errors import SimulationError
+from repro.obs import hooks as obs_hooks
+from repro.obs.export import chrome_trace, flame_summary, write_chrome_trace
+from repro.obs.profile import CATEGORIES, build_breakdown
+from repro.obs.trace import Span, TraceRecorder
+from repro.sim.configs import get_config
+from repro.sim.machine import Machine, run_workload
+from repro.workloads import make_app
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Every test starts and ends with the module-level hook cleared."""
+    obs_hooks.uninstall()
+    yield
+    obs_hooks.uninstall()
+
+
+class TestRingBuffer:
+    def test_records_in_order_below_capacity(self):
+        rec = TraceRecorder(capacity=8)
+        for i in range(5):
+            rec.record(i * 10, "cat", f"e{i}", dur_ps=1, args=0)
+        assert rec.recorded == 5
+        assert rec.dropped == 0
+        assert len(rec) == 5
+        assert [s.name for s in rec.spans()] == ["e0", "e1", "e2", "e3", "e4"]
+
+    def test_wraparound_keeps_newest_chronologically(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.record(i, "cat", f"e{i}")
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        assert len(rec) == 4
+        spans = rec.spans()
+        assert [s.name for s in spans] == ["e6", "e7", "e8", "e9"]
+        assert [s.t_ps for s in spans] == sorted(s.t_ps for s in spans)
+
+    def test_aggregates_survive_wraparound(self):
+        rec = TraceRecorder(capacity=2)
+        for i in range(100):
+            rec.record(i, "tlb", "refill", dur_ps=3, args=1)
+        agg = rec.aggregates()
+        assert agg[(1, "tlb", "refill")] == (100, 300)
+
+    def test_span_cpu_extraction(self):
+        assert Span(0, "c", "n", 0, 5).cpu == 5
+        assert Span(0, "c", "n", 0, {"cpu": 2, "x": 1}).cpu == 2
+        assert Span(0, "c", "n", 0, None).cpu is None
+        assert Span(0, "c", "n", 0, {"node": 3}).cpu is None
+
+    def test_clear(self):
+        rec = TraceRecorder(capacity=4)
+        rec.record(0, "a", "b", 1, 0)
+        rec.clear()
+        assert rec.recorded == 0
+        assert rec.spans() == []
+        assert rec.aggregates() == {}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_counter_set_view_uses_registry_naming(self):
+        rec = TraceRecorder(capacity=8)
+        rec.record(0, "tlb", "refill", dur_ps=100, args=0)
+        rec.record(0, "net", "msg", dur_ps=50, args=None)
+        cs = rec.as_counter_set()
+        assert cs.get("cpu0.tlb.refill.events") == 1
+        assert cs.get("cpu0.tlb.refill.dur_ps") == 100
+        assert cs.get("net.msg.dur_ps") == 50
+
+
+class TestHooks:
+    def test_disabled_by_default(self):
+        assert obs_hooks.active is None
+        assert not obs_hooks.is_enabled()
+
+    def test_tracing_context_installs_and_restores(self):
+        with obs_hooks.tracing(capacity=16) as rec:
+            assert obs_hooks.active is rec
+        assert obs_hooks.active is None
+
+    def test_tracing_context_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs_hooks.tracing():
+                raise RuntimeError("boom")
+        assert obs_hooks.active is None
+
+    def test_nested_tracing_restores_outer(self):
+        with obs_hooks.tracing() as outer:
+            with obs_hooks.tracing() as inner:
+                assert obs_hooks.active is inner
+            assert obs_hooks.active is outer
+
+
+def _tiny_run(tracer=None, workload="fft", n_cpus=2):
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150-tuned")
+    wl = make_app(workload, scale)
+    if tracer is None:
+        return run_workload(config, wl, n_cpus, scale)
+    with obs_hooks.tracing(tracer):
+        return run_workload(config, wl, n_cpus, scale)
+
+
+class TestDisabledNoOp:
+    def test_untraced_run_records_nothing_and_has_no_breakdown(self):
+        scale = get_scale("tiny")
+        config = get_config("simos-mipsy-150-tuned")
+        machine = Machine(config, 2, scale)
+        result = machine.run(make_app("fft", scale))
+        assert result.breakdown is None
+        assert machine.env.tracer is None
+
+    def test_engine_events_off_by_default(self):
+        rec = TraceRecorder(capacity=1024)
+        scale = get_scale("tiny")
+        machine = Machine(get_config("simos-mipsy-150-tuned"), 2, scale)
+        with obs_hooks.tracing(rec):
+            machine.run(make_app("fft", scale))
+        assert machine.env.tracer is None
+        assert all(s.category != "engine" for s in rec.spans())
+
+    def test_engine_events_opt_in(self):
+        rec = TraceRecorder(capacity=1024, engine_events=True)
+        scale = get_scale("tiny")
+        machine = Machine(get_config("simos-mipsy-150-tuned"), 2, scale)
+        with obs_hooks.tracing(rec):
+            machine.run(make_app("fft", scale))
+        assert machine.env.tracer is rec
+        assert any(s.category == "engine" for s in rec.spans())
+
+
+class TestChromeExport:
+    def test_schema_validity(self):
+        rec = TraceRecorder(capacity=64)
+        rec.record(1_000_000, "mem", "load_miss", dur_ps=2_000_000, args=0)
+        rec.record(3_000_000, "sync", "barrier_arrive", 0,
+                   {"cpu": 1, "bid": 7})
+        rec.record(4_000_000, "net", "msg", dur_ps=500_000,
+                   args={"src": 0, "dst": 1})
+        doc = json.loads(json.dumps(chrome_trace(rec)))
+        assert isinstance(doc["traceEvents"], list)
+        non_meta = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert len(non_meta) == 3
+        for event in doc["traceEvents"]:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event, f"missing {key!r} in {event}"
+        complete = [e for e in non_meta if e["ph"] == "X"]
+        instants = [e for e in non_meta if e["ph"] == "i"]
+        assert len(complete) == 2 and len(instants) == 1
+        assert all("dur" in e for e in complete)
+        assert all(e["s"] == "t" for e in instants)
+        # ps -> us conversion
+        assert complete[0]["ts"] == pytest.approx(1.0)
+        assert complete[0]["dur"] == pytest.approx(2.0)
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        rec = TraceRecorder(capacity=16)
+        rec.record(0, "cpu", "total", 100, 0)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(rec, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["recorded"] == 1
+
+    def test_flame_summary_lists_heaviest_first(self):
+        rec = TraceRecorder(capacity=16)
+        rec.record(0, "mem", "load_miss", 500, 0)
+        rec.record(0, "tlb", "refill", 2000, 0)
+        text = flame_summary(rec)
+        assert text.index("tlb;refill") < text.index("mem;load_miss")
+
+    def test_flame_summary_empty(self):
+        assert "no spans" in flame_summary(TraceRecorder(capacity=4))
+
+
+class TestBreakdownIntegration:
+    def test_fft_on_flashlite_fractions_sum_to_one(self):
+        rec = TraceRecorder(capacity=32768)
+        result = _tiny_run(rec, workload="fft", n_cpus=2)
+        breakdown = result.breakdown
+        assert breakdown is not None
+        assert len(breakdown.per_cpu) == 2
+        for row in breakdown.per_cpu:
+            assert row.total_ps > 0
+            total = sum(row.fractions().values())
+            assert total == pytest.approx(1.0, abs=0.01)
+            # FFT at tiny scale misses the TLB and the caches: the
+            # attribution must see real stall time, not just "busy".
+            assert row.fraction("busy") < 1.0
+            assert row.fraction("tlb") > 0.0
+            assert row.fraction("mem") > 0.0
+        overall = breakdown.overall()
+        assert sum(overall.fraction(cat) for cat in CATEGORIES) == (
+            pytest.approx(1.0, abs=0.01))
+
+    def test_breakdown_table_renders_every_cpu(self):
+        rec = TraceRecorder(capacity=8192)
+        result = _tiny_run(rec, n_cpus=2)
+        table = result.breakdown.format_table()
+        assert "busy%" in table and "tlb%" in table
+        assert "ALL" in table
+        assert len(table.splitlines()) == 2 + 2 + 1  # header, rule, rows, ALL
+
+    def test_breakdown_exact_after_ring_wrap(self):
+        # A ring far too small for the run: the timeline drops spans but
+        # the attribution (fed by aggregates) still sums to 1.
+        rec = TraceRecorder(capacity=64)
+        result = _tiny_run(rec, n_cpus=2)
+        assert rec.dropped > 0
+        for row in result.breakdown.per_cpu:
+            assert sum(row.fractions().values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_spans_cover_paper_categories(self):
+        rec = TraceRecorder(capacity=65536)
+        _tiny_run(rec, n_cpus=2)
+        categories = {cat for (_cpu, cat, _name) in rec.aggregates()}
+        # The error-source taxonomy: TLB, memory, DSM occupancy, network,
+        # synchronisation, per-CPU execution.
+        assert {"tlb", "mem", "dsm", "net", "sync", "cpu", "cache"} <= categories
+
+    def test_build_breakdown_scales_oversubscribed_stalls(self):
+        rec = TraceRecorder(capacity=16)
+        rec.record(0, "cpu", "total", 100, 0)
+        rec.record(0, "tlb", "refill", 90, 0)
+        rec.record(0, "mem", "load_miss", 90, 0)  # 180 > 100 total
+        row = build_breakdown(rec).per_cpu[0]
+        assert sum(row.fractions().values()) == pytest.approx(1.0)
+        assert row.fraction("busy") == 0.0
+        assert row.fraction("tlb") == pytest.approx(0.5)
+
+    def test_breakdown_without_stalls_is_all_busy(self):
+        rec = TraceRecorder(capacity=16)
+        rec.record(0, "cpu", "total", 100, 3)
+        row = build_breakdown(rec).per_cpu[0]
+        assert row.cpu == 3
+        assert row.fraction("busy") == pytest.approx(1.0)
+
+
+class TestMachineSingleUse:
+    def test_second_run_raises(self):
+        scale = get_scale("tiny")
+        machine = Machine(get_config("simos-mipsy-150-tuned"), 2, scale)
+        workload = make_app("fft", scale)
+        machine.run(workload)
+        with pytest.raises(SimulationError, match="single-use"):
+            machine.run(workload)
+
+
+class TestCli:
+    def test_breakdown_and_trace(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        out = tmp_path / "trace.json"
+        rc = main(["fft", "--scale", "tiny", "--cpus", "2",
+                   "--breakdown", "--flame", "--obs-stats",
+                   "--trace", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "cycle attribution" in printed
+        assert "busy%" in printed
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        # CLI must leave the module hook cleared for the next run.
+        assert obs_hooks.active is None
+
+    def test_unknown_config_rejected(self):
+        from repro.common.errors import ConfigurationError
+        from repro.obs.cli import main
+
+        with pytest.raises(ConfigurationError):
+            main(["fft", "--scale", "tiny", "--config", "nope"])

@@ -1,0 +1,71 @@
+"""The observability tooling gates, run as part of the suite.
+
+* the hot-path lint (`scripts/check_no_tracer_in_hot_path.py`) must pass
+  against the current tree and must actually detect violations;
+* the overhead benchmark must import and expose its budgets (the timed
+  run itself lives in ``benchmarks/bench_obs_overhead.py``, marked slow).
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "scripts" / "check_no_tracer_in_hot_path.py"
+
+
+def _load_lint_module():
+    spec = importlib.util.spec_from_file_location("tracer_lint", LINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHotPathLint:
+    def test_current_tree_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINT)], capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all tracer calls guarded" in proc.stdout
+
+    def test_detects_unguarded_call(self, tmp_path):
+        lint = _load_lint_module()
+        bad = tmp_path / "hot.py"
+        bad.write_text(
+            "def step(self):\n"
+            "    self.tracer.record(0, 'engine', 'cb')\n"
+        )
+        violations = lint.check_file(bad)
+        assert len(violations) == 1
+        assert violations[0][0] == 2
+
+    def test_accepts_guarded_call(self, tmp_path):
+        lint = _load_lint_module()
+        good = tmp_path / "hot.py"
+        good.write_text(
+            "def step(self):\n"
+            "    tracer = self.tracer\n"
+            "    if tracer is not None:\n"
+            "        tracer.record(0, 'engine',\n"
+            "                      'cb')\n"
+        )
+        assert lint.check_file(good) == []
+
+    def test_engine_kernel_is_covered(self):
+        lint = _load_lint_module()
+        assert "src/repro/engine/kernel.py" in lint.HOT_PATH_FILES
+
+
+class TestOverheadBench:
+    def test_budgets_exposed(self):
+        sys.path.insert(0, str(REPO / "benchmarks"))
+        try:
+            import bench_obs_overhead as bench
+        finally:
+            sys.path.pop(0)
+        assert bench.MAX_DISABLED_OVERHEAD <= 0.05
+        assert bench.MAX_ENABLED_RATIO >= 1.0
+        # The timed test is opt-in via the slow marker.
+        assert any(m.name == "slow"
+                   for m in bench.test_obs_overhead.pytestmark)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression snapshots under ``tests/golden/``.
+
+One command::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py
+
+Run it when an intentional simulator change shifts the snapshot
+experiments' findings, review the diff (``git diff tests/golden``) to
+confirm every drifted value is expected, and commit the new snapshots
+together with the change that caused them.  ``tests/test_golden.py``
+fails with a field-by-field diff whenever the live values drift from
+these files.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.config import REPRO_SCALE              # noqa: E402
+from repro.harness import run_experiment                 # noqa: E402
+
+#: The snapshotted experiments: cheap, and together they pin the machine
+#: geometry (table1), the calibration quantities (tlb_microbench) and a
+#: full simulator-vs-hardware comparison figure (fig2).
+GOLDEN_IDS = ("table1", "tlb_microbench", "fig2")
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def snapshot(exp_id: str) -> dict:
+    result = run_experiment(exp_id, REPRO_SCALE)
+    return {
+        "exp_id": result.exp_id,
+        "scale_name": result.scale_name,
+        "findings": [f.to_dict() for f in result.findings],
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for exp_id in GOLDEN_IDS:
+        path = GOLDEN_DIR / f"{exp_id}.json"
+        data = snapshot(exp_id)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(data['findings'])} findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,10 @@ from repro.common.config import (
     MachineScale,
     get_scale,
 )
-from repro.harness import run_experiment
+from repro.harness import Farm, ResultCache, run_experiment
 from repro.sim import (
     Machine,
+    RunRequest,
     RunResult,
     SimulatorConfig,
     embra_config,
@@ -71,7 +72,10 @@ __all__ = [
     "MachineScale",
     "get_scale",
     "run_experiment",
+    "Farm",
+    "ResultCache",
     "Machine",
+    "RunRequest",
     "RunResult",
     "SimulatorConfig",
     "embra_config",

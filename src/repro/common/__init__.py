@@ -18,6 +18,7 @@ from repro.common.errors import (
     TuningError,
     WorkloadError,
 )
+from repro.common.canonical import canonicalize, code_fingerprint, stable_hash
 from repro.common.rng import derive_rng
 from repro.common.stats import CounterSet, StatsRegistry
 from repro.common.units import Clock, ns_to_ps, ps_to_ns
@@ -37,6 +38,9 @@ __all__ = [
     "SimulationError",
     "TuningError",
     "WorkloadError",
+    "canonicalize",
+    "code_fingerprint",
+    "stable_hash",
     "derive_rng",
     "CounterSet",
     "StatsRegistry",

@@ -1,0 +1,119 @@
+"""Canonicalization and content-addressing of configuration objects.
+
+The experiment farm (:mod:`repro.harness.farm`) caches simulation results
+on disk under a key derived from *what was simulated*: simulator
+configuration, workload parameters, machine scale, CPU count, placement
+policy and seed, plus a fingerprint of the simulator source itself.  For
+that key to be trustworthy it must be **stable** -- two configurations
+that mean the same thing must hash identically regardless of dict
+insertion order, tuple-vs-list spelling, or how a float literal was
+written -- and **sensitive** -- any semantic change (a tuned latency, a
+different radix, a new scale) must change it.
+
+``canonicalize`` reduces an object graph to a JSON-serialisable canonical
+form (sorted mappings, ``float.hex`` floats, tagged ndarrays, dataclasses
+and plain objects by qualified name + fields); ``stable_hash`` hashes that
+form; ``code_fingerprint`` hashes the package source so stale cache
+entries die with the code that produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+#: Attribute names never included in an object's canonical form: caches
+#: and memoization state do not change what a run computes.
+_SKIPPED_ATTRS = ("_cache", "_memo")
+
+
+def canonicalize(obj: Any, _path: str = "$") -> Any:
+    """Reduce *obj* to a canonical, JSON-serialisable structure.
+
+    The mapping is injective on the object kinds the simulator
+    configuration space uses (scalars, strings, sequences, mappings, sets,
+    numpy arrays/scalars, dataclasses, plain objects) and raises
+    :class:`ConfigurationError` for anything it cannot represent stably
+    (open files, lambdas, generators, ...), naming the offending path.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr permutations ("0.5", "5e-1") parse to the same float and
+        # therefore the same hex form; distinct values stay distinct.
+        return {"__float__": obj.hex()}
+    if isinstance(obj, np.generic):
+        return canonicalize(obj.item(), _path)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": [obj.dtype.str, list(obj.shape),
+                                obj.ravel().tolist()]}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v, f"{_path}[{i}]") for i, v in enumerate(obj)]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(
+            json.dumps(canonicalize(v, _path), sort_keys=True) for v in obj)}
+    if isinstance(obj, Mapping):
+        items = {}
+        for key in obj:
+            if not isinstance(key, (str, int, bool)) and key is not None:
+                raise ConfigurationError(
+                    f"cannot canonicalize mapping key {key!r} at {_path}")
+            items[str(key)] = canonicalize(obj[key], f"{_path}.{key}")
+        # Sorted-by-key dict: insertion order never leaks into the hash.
+        return {"__map__": {k: items[k] for k in sorted(items)}}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name), f"{_path}.{f.name}")
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": _qualname(type(obj)), "fields": fields}
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        fields = {
+            name: canonicalize(value, f"{_path}.{name}")
+            for name, value in attrs.items()
+            if not name.startswith("__") and name not in _SKIPPED_ATTRS
+        }
+        return {"__object__": _qualname(type(obj)), "fields":
+                {k: fields[k] for k in sorted(fields)}}
+    raise ConfigurationError(
+        f"cannot canonicalize {type(obj).__name__} at {_path}; "
+        "content-addressed caching needs plain data"
+    )
+
+
+def _qualname(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def stable_hash(obj: Any) -> str:
+    """A hex digest of *obj*'s canonical form (sha256, 64 chars)."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A digest of every ``repro`` source file.
+
+    Part of every farm cache key: results computed by different simulator
+    code never collide, so a cache survives across sessions but is
+    implicitly invalidated by any change to the package.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

@@ -1,6 +1,7 @@
 """Experiment harness: one registered experiment per paper table/figure."""
 
 from repro.harness.experiments import experiment_ids, run_experiment
+from repro.harness.farm import Farm, ResultCache, default_cache_dir
 from repro.harness.findings import ExperimentResult, Finding
 from repro.harness.runner import (
     DEFAULT_ORDER,
@@ -13,6 +14,9 @@ from repro.harness.runner import (
 __all__ = [
     "experiment_ids",
     "run_experiment",
+    "Farm",
+    "ResultCache",
+    "default_cache_dir",
     "ExperimentResult",
     "Finding",
     "DEFAULT_ORDER",

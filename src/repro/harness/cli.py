@@ -1,0 +1,76 @@
+"""``python -m repro.harness``: the experiment CLI, farm-enabled.
+
+The historical surface (``[experiment|all] [--scale NAME] [--markdown
+PATH]``) is unchanged; the farm adds::
+
+    --jobs N       fan simulation batches out over N worker processes
+    --no-cache     disable the content-addressed result cache
+    --cache-dir P  cache location (default $REPRO_CACHE_DIR or
+                   ~/.cache/repro/farm)
+
+Results are identical whichever combination is used: requests execute in
+deterministic per-request-seeded isolation and are collected in order, and
+cache entries are keyed by the full canonicalized request plus the package
+source fingerprint (see DESIGN.md, "The experiment farm").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.config import get_scale
+from repro.harness.experiments import experiment_ids, run_experiment
+from repro.harness.farm import Farm, ResultCache, default_cache_dir
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="regenerate the paper's tables and figures")
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help=f"one of {', '.join(experiment_ids())}, or 'all'")
+    parser.add_argument("--scale", default="repro",
+                        help="machine scale (paper, repro, tiny)")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="also write EXPERIMENTS.md-style output to PATH")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation batches "
+                             "(default 1: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; skip the result cache")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help=f"result-cache directory "
+                             f"(default {default_cache_dir()})")
+    return parser
+
+
+def make_farm(args: argparse.Namespace) -> Farm:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Farm(jobs=args.jobs, cache=cache)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    from repro.harness.runner import run_all, summarize, write_experiments_md
+
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    farm = make_farm(args)
+    with farm.activate():
+        if args.experiment == "all":
+            results = run_all(scale)
+            print(summarize(results))
+        else:
+            results = [run_experiment(args.experiment, scale)]
+            print(results[0].format())
+    print(farm.summary())
+    if args.markdown:
+        write_experiments_md(results, args.markdown)
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.harness.cli
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.memsys.params import (
     TABLE3_TUNED_NS,
     TABLE3_UNTUNED_NS,
 )
+from repro.sim import farm_hooks
 from repro.sim.configs import (
     figure_lineup,
     hardware_config,
@@ -32,7 +33,7 @@ from repro.sim.configs import (
     simos_mxs,
     solo_mipsy,
 )
-from repro.sim.machine import run_workload
+from repro.sim.request import RunRequest
 from repro.validation import (
     CACHEOP_BUG,
     CacheFlushWorkload,
@@ -75,6 +76,15 @@ def experiment_ids() -> List[str]:
     return list(_REGISTRY)
 
 
+def _farm_counts() -> tuple:
+    """(hits, executed) of the ambient farm, or zeros without one."""
+    farm = farm_hooks.active
+    if farm is None or not hasattr(farm, "counters"):
+        return (0, 0)
+    return (int(farm.counters.get("cache.hits")),
+            int(farm.counters.get("executed")))
+
+
 def run_experiment(exp_id: str,
                    scale: MachineScale = REPRO_SCALE) -> ExperimentResult:
     try:
@@ -83,10 +93,14 @@ def run_experiment(exp_id: str,
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
         ) from None
+    hits0, runs0 = _farm_counts()
     start = time.perf_counter()
     result = fn(scale)
     result.wall_seconds = time.perf_counter() - start
     result.scale_name = scale.name
+    hits1, runs1 = _farm_counts()
+    result.farm_hits = hits1 - hits0
+    result.farm_runs = runs1 - runs0
     return result
 
 
@@ -464,19 +478,29 @@ def tlb_blocking(scale: MachineScale) -> ExperimentResult:
     hw = hardware_config()
     rows = []
     gains = {}
+    # All eight hardware runs (2 apps x before/after fix x 1/4 CPUs) are
+    # independent: one farm batch.
+    grid = [(app, n_cpus)
+            for n_cpus in (1, 4)
+            for app in ("fft_cache", "fft_tlb", "radix_path", "radix_fix")]
+    workload_of = {
+        "fft_cache": lambda: FftWorkload(scale, blocking="cache"),
+        "fft_tlb": lambda: FftWorkload(scale, blocking="tlb"),
+        "radix_path": lambda: RadixWorkload(
+            scale, radix=pathological_radix(scale)),
+        "radix_fix": lambda: RadixWorkload(scale, radix=tuned_radix(scale)),
+    }
+    outcomes = farm_hooks.dispatch([
+        RunRequest(hw, workload_of[app](), n_cpus)
+        for app, n_cpus in grid
+    ])
+    times = {key: result.parallel_ps
+             for key, result in zip(grid, outcomes)}
     for n_cpus in (1, 4):
-        fft_cache = run_workload(hw, FftWorkload(scale, blocking="cache"),
-                                 n_cpus).parallel_ps
-        fft_tlb = run_workload(hw, FftWorkload(scale, blocking="tlb"),
-                               n_cpus).parallel_ps
-        gains[("fft", n_cpus)] = 1 - fft_tlb / fft_cache
-        radix_path = run_workload(
-            hw, RadixWorkload(scale, radix=pathological_radix(scale)),
-            n_cpus).parallel_ps
-        radix_fix = run_workload(
-            hw, RadixWorkload(scale, radix=tuned_radix(scale)),
-            n_cpus).parallel_ps
-        gains[("radix", n_cpus)] = 1 - radix_fix / radix_path
+        gains[("fft", n_cpus)] = (
+            1 - times[("fft_tlb", n_cpus)] / times[("fft_cache", n_cpus)])
+        gains[("radix", n_cpus)] = (
+            1 - times[("radix_fix", n_cpus)] / times[("radix_path", n_cpus)])
         rows.append([f"FFT blocked for TLB, P={n_cpus}",
                      "14%" if n_cpus == 1 else "16%",
                      f"{gains[('fft', n_cpus)]:.0%}"])
@@ -504,13 +528,14 @@ def tlb_blocking(scale: MachineScale) -> ExperimentResult:
 
 @experiment("instr_latency", "adding 5-cycle muls / 19-cycle divs to Mipsy")
 def instr_latency(scale: MachineScale) -> ExperimentResult:
-    cache = ReferenceCache()
     workload = make_app("radix", scale, tuned_inputs=True)
-    ref = cache.run(workload, 1, scale)
     base_cfg = simos_mipsy(225, tuned=True)
-    base = run_workload(base_cfg, workload, 1, scale)
     latcore = base_cfg.core.with_updates(model_instruction_latencies=True)
-    fixed = run_workload(base_cfg.with_core(latcore, "-lat"), workload, 1, scale)
+    ref, base, fixed = farm_hooks.dispatch([
+        RunRequest(ReferenceCache().reference, workload, 1, scale),
+        RunRequest(base_cfg, workload, 1, scale),
+        RunRequest(base_cfg.with_core(latcore, "-lat"), workload, 1, scale),
+    ])
     rel_before = base.parallel_ps / ref.parallel_ps
     rel_after = fixed.parallel_ps / ref.parallel_ps
     rendered = kv_table(

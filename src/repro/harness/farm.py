@@ -1,0 +1,224 @@
+"""The experiment farm: parallel, cached execution of simulation batches.
+
+The paper's methodology is repetition: every figure re-runs the same
+simulator lineup (``figure_lineup``) over the same workloads, the tuning
+loop replays the same microbenchmarks round after round, and regenerating
+EXPERIMENTS.md repeats all of it.  The farm turns that repetition from a
+cost into a cache:
+
+* **fan-out** -- a batch of :class:`~repro.sim.request.RunRequest` runs
+  across a ``multiprocessing`` pool (``jobs`` workers).  Requests are
+  pickleable and self-seeding, and results are collected **in request
+  order**, so a parallel batch is bit-identical to the serial loop.
+* **content-addressed result cache** -- each request's result is stored
+  on disk under a stable hash of its canonicalized configuration,
+  workload, scale, CPU count, placement, seed and the package source
+  fingerprint (:mod:`repro.common.canonical`).  A second run of any
+  experiment -- or a later figure re-running an earlier figure's lineup
+  -- replays results instead of re-simulating.  Because every simulation
+  is a pure function of its request (all randomness flows through
+  ``derive_rng``), cached replay preserves the serial semantics exactly.
+* **accounting** -- per-request wall time and hit/miss counters flow into
+  a :class:`~repro.common.stats.StatsRegistry` (counter set ``farm``) and,
+  when observability tracing is active, into wall-clock ``farm`` spans on
+  the trace timeline.
+
+Install a farm ambiently with :meth:`Farm.activate` (the harness CLI does
+this for ``--jobs`` / ``--no-cache``); the validation and microbenchmark
+layers dispatch through :mod:`repro.sim.farm_hooks` and never import this
+module.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.canonical import code_fingerprint
+from repro.common.stats import StatsRegistry
+from repro.obs import hooks as obs_hooks
+from repro.sim import farm_hooks
+from repro.sim.request import RunRequest
+from repro.sim.results import RunResult
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/farm``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "farm"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized :class:`RunResult`.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is the request's
+    64-hex-char content address.  Entries are written atomically (temp
+    file + rename) so concurrent farms -- including pool workers of the
+    same farm -- can share one cache directory; a torn or corrupt entry
+    reads as a miss, never as wrong data.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result under *key*, or None (miss/corrupt entry)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            return RunResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: RunResult,
+            request: Optional[RunRequest] = None) -> None:
+        """Store *result* under *key* (atomic; last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "code": code_fingerprint(),
+            "request": None if request is None else request.describe(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _execute_request(request: RunRequest) -> Tuple[RunResult, float]:
+    """Pool worker body: run one request, report its wall time.
+
+    Module-level so it pickles; the request seeds the worker's global
+    RNGs itself (see :meth:`RunRequest.execute`).
+    """
+    start = time.perf_counter()
+    result = request.execute()
+    return result, time.perf_counter() - start
+
+
+class Farm:
+    """A batch runner: worker pool + result cache + accounting."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 registry: Optional[StatsRegistry] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.registry = registry if registry is not None else StatsRegistry()
+        self.counters = self.registry.counter_set("farm")
+        self._epoch = time.perf_counter()
+
+    # -- counters ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self.counters.get("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.counters.get("cache.misses"))
+
+    def summary(self) -> str:
+        c = self.counters
+        return (
+            f"farm: {int(c.get('requests'))} requests, "
+            f"{self.hits} cache hits, {int(c.get('executed'))} executed "
+            f"(jobs={self.jobs}, cache={'on' if self.cache else 'off'}), "
+            f"simulation wall {c.get('wall_ms') / 1000.0:.1f}s"
+        )
+
+    def _span(self, request: RunRequest, wall_s: float, outcome: str) -> None:
+        tracer = obs_hooks.active
+        if tracer is not None:
+            # Farm spans live in wall-clock time (microsecond resolution,
+            # stored as ps since farm creation), unlike simulated-time
+            # spans; the trace viewer shows them on their own track.
+            t_ps = int((time.perf_counter() - self._epoch - wall_s) * 1e12)
+            tracer.record(max(0, t_ps), obs_hooks.FARM,
+                          f"{outcome}:{request.describe()}",
+                          int(wall_s * 1e12))
+
+    # -- execution --------------------------------------------------------
+
+    def map(self, requests: Sequence[RunRequest]) -> List[RunResult]:
+        """Execute a batch, in order; identical to the serial loop.
+
+        Cache hits resolve immediately; distinct requests with identical
+        content addresses (e.g. a lineup containing the same config
+        twice) simulate once; the remaining misses fan out across the
+        pool.  The returned list lines up index-for-index with
+        *requests*.
+        """
+        requests = list(requests)
+        results: List[Optional[RunResult]] = [None] * len(requests)
+        pending: List[Tuple[str, RunRequest]] = []
+        shared: dict = {}            # key -> indices awaiting that result
+        for i, request in enumerate(requests):
+            self.counters.add("requests")
+            key = request.cache_key()
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.counters.add("cache.hits")
+                    self._span(request, 0.0, "hit")
+                    results[i] = hit
+                    continue
+                self.counters.add("cache.misses")
+            waiters = shared.setdefault(key, [])
+            waiters.append(i)
+            if len(waiters) == 1:
+                pending.append((key, request))
+
+        if pending:
+            todo = [request for _key, request in pending]
+            if self.jobs > 1 and len(todo) > 1:
+                with multiprocessing.Pool(min(self.jobs, len(todo))) as pool:
+                    outcomes = pool.map(_execute_request, todo)
+                self.counters.add("batches.parallel")
+            else:
+                outcomes = [_execute_request(request) for request in todo]
+                self.counters.add("batches.serial")
+            for (key, request), (result, wall_s) in zip(pending, outcomes):
+                self.counters.add("executed")
+                self.counters.add("wall_ms", wall_s * 1000.0)
+                self._span(request, wall_s, "run")
+                if self.cache is not None:
+                    self.cache.put(key, result, request)
+                for i in shared[key]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute one request (cache-aware, always in-process)."""
+        return self.map([request])[0]
+
+    def activate(self):
+        """Install this farm ambiently (see :mod:`repro.sim.farm_hooks`)."""
+        return farm_hooks.farming(self)

@@ -27,6 +27,16 @@ class Finding:
         note = f"  ({self.note})" if self.note else ""
         return f"  [{mark}] {self.name}: paper {self.paper}; measured {self.measured}{note}"
 
+    def to_dict(self) -> dict:
+        return {"name": self.name, "paper": self.paper,
+                "measured": self.measured, "ok": self.ok, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(name=data["name"], paper=data["paper"],
+                   measured=data["measured"], ok=data["ok"],
+                   note=data.get("note", ""))
+
 
 @dataclass
 class ExperimentResult:
@@ -38,19 +48,48 @@ class ExperimentResult:
     findings: List[Finding] = field(default_factory=list)
     wall_seconds: float = 0.0
     scale_name: str = ""
+    #: Farm accounting for this experiment (0/0 when no farm was active):
+    #: simulations replayed from the result cache vs actually executed.
+    farm_hits: int = 0
+    farm_runs: int = 0
 
     @property
     def all_ok(self) -> bool:
         return all(f.ok for f in self.findings)
 
     def format(self) -> str:
+        farm = ""
+        if self.farm_hits or self.farm_runs:
+            farm = f", {self.farm_hits} cached / {self.farm_runs} simulated"
         lines = [f"=== {self.exp_id}: {self.title} "
-                 f"(scale={self.scale_name}, {self.wall_seconds:.1f}s) ==="]
+                 f"(scale={self.scale_name}, {self.wall_seconds:.1f}s{farm}) ==="]
         lines.append(self.rendered)
         if self.findings:
             lines.append("paper vs measured:")
             lines.extend(f.format() for f in self.findings)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON snapshot (golden-regression tests compare these)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "rendered": self.rendered,
+            "findings": [f.to_dict() for f in self.findings],
+            "wall_seconds": self.wall_seconds,
+            "scale_name": self.scale_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            rendered=data["rendered"],
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            wall_seconds=data.get("wall_seconds", 0.0),
+            scale_name=data.get("scale_name", ""),
+        )
 
     def to_markdown(self) -> str:
         lines = [f"## {self.exp_id}: {self.title}",

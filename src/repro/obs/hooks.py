@@ -38,6 +38,7 @@ OS = "os"            #: syscalls and kernel tick overhead
 DSM = "dsm"          #: memory-system transactions + MAGIC occupancy
 NET = "net"          #: interconnect messages
 ENGINE = "engine"    #: raw event-calendar dispatches (opt-in, voluminous)
+FARM = "farm"        #: experiment-farm requests (wall time, not sim time)
 
 #: Categories the cycle-attribution profiler charges against each CPU's
 #: total; everything else is timeline-only detail.

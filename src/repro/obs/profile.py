@@ -45,6 +45,15 @@ class CpuBreakdown:
     def fractions(self) -> Dict[str, float]:
         return {cat: self.fraction(cat) for cat in CATEGORIES}
 
+    def to_dict(self) -> Dict:
+        return {"cpu": self.cpu, "total_ps": self.total_ps,
+                "parts_ps": dict(self.parts_ps)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CpuBreakdown":
+        return cls(cpu=data["cpu"], total_ps=data["total_ps"],
+                   parts_ps=dict(data["parts_ps"]))
+
 
 @dataclass
 class RunBreakdown:
@@ -57,6 +66,14 @@ class RunBreakdown:
             if row.cpu == n:
                 return row
         return None
+
+    def to_dict(self) -> Dict:
+        return {"per_cpu": [row.to_dict() for row in self.per_cpu]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunBreakdown":
+        return cls(per_cpu=[CpuBreakdown.from_dict(row)
+                            for row in data["per_cpu"]])
 
     def overall(self) -> CpuBreakdown:
         """All CPUs folded together (time-weighted)."""

@@ -11,10 +11,12 @@ from repro.sim.configs import (
     solo_mipsy,
 )
 from repro.sim.machine import Machine, run_workload
+from repro.sim.request import RunRequest
 from repro.sim.results import RunResult, merge_phase_marks
 from repro.sim.sync import SyncDomain
 
 __all__ = [
+    "RunRequest",
     "SimulatorConfig",
     "embra_config",
     "figure_lineup",

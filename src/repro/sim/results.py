@@ -54,6 +54,48 @@ class RunResult:
             f"scale={self.scale_name}): parallel {self.parallel_ns / 1e6:.3f} ms"
         )
 
+    # -- serialization (the farm's on-disk cache format) -------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-serialisable snapshot; :meth:`from_dict` inverts it.
+
+        The round trip is exact (``from_dict(to_dict(r)) == r``): the
+        result cache and the multiprocessing boundary both rely on cached/
+        shipped results being indistinguishable from freshly computed ones.
+        """
+        return {
+            "config_name": self.config_name,
+            "workload_name": self.workload_name,
+            "n_cpus": self.n_cpus,
+            "scale_name": self.scale_name,
+            "total_ps": self.total_ps,
+            "phase_spans_ps": {name: list(span)
+                               for name, span in self.phase_spans_ps.items()},
+            "instructions": self.instructions,
+            "stats": dict(self.stats),
+            "breakdown": (None if self.breakdown is None
+                          else self.breakdown.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        from repro.obs.profile import RunBreakdown
+
+        breakdown = data.get("breakdown")
+        return cls(
+            config_name=data["config_name"],
+            workload_name=data["workload_name"],
+            n_cpus=data["n_cpus"],
+            scale_name=data["scale_name"],
+            total_ps=data["total_ps"],
+            phase_spans_ps={name: (span[0], span[1])
+                            for name, span in data["phase_spans_ps"].items()},
+            instructions=data["instructions"],
+            stats=dict(data["stats"]),
+            breakdown=(None if breakdown is None
+                       else RunBreakdown.from_dict(breakdown)),
+        )
+
 
 def merge_phase_marks(
     per_cpu_marks: List[List[Tuple[str, bool, int]]],

@@ -162,8 +162,13 @@ def demonstrate_bug(bug: PerformanceBug, config: SimulatorConfig, workload,
                     n_cpus: int = 1,
                     scale: Optional[MachineScale] = None) -> BugDemonstration:
     """Run *workload* with and without *bug* injected into *config*."""
-    clean = run_workload(config, workload, n_cpus, scale)
-    buggy = run_workload(bug.inject(config), workload, n_cpus, scale)
+    from repro.sim import farm_hooks
+    from repro.sim.request import RunRequest
+
+    clean, buggy = farm_hooks.dispatch([
+        RunRequest(config, workload, n_cpus, scale),
+        RunRequest(bug.inject(config), workload, n_cpus, scale),
+    ])
     return BugDemonstration(
         bug=bug.name,
         workload=workload.name,

@@ -5,6 +5,11 @@ workloads against the gold-standard configuration at a fixed processor
 count and reports relative execution times -- one call per comparison
 figure.  Reference runs are cached per (workload, P) so a figure's seven
 simulator columns share a single gold run.
+
+The whole matrix (references + simulator runs) is expressed as one
+:class:`~repro.sim.request.RunRequest` batch and dispatched through
+:mod:`repro.sim.farm_hooks`: serial and identical to the historical loop
+when no farm is active, fanned out and cached when one is.
 """
 
 from __future__ import annotations
@@ -13,8 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import MachineScale
+from repro.sim import farm_hooks
 from repro.sim.configs import SimulatorConfig, hardware_config
-from repro.sim.machine import run_workload
+from repro.sim.request import RunRequest
 from repro.sim.results import RunResult
 from repro.validation.metrics import relative_time
 from repro.vm.allocators import Placement
@@ -79,14 +85,29 @@ class ReferenceCache:
         self.reference = reference or hardware_config()
         self._runs: Dict[Tuple, RunResult] = {}
 
+    def _key(self, workload, n_cpus: int, scale: Optional[MachineScale],
+             placement: str) -> Tuple:
+        return (workload.name, workload.problem_description(), n_cpus,
+                placement, (scale or workload.scale).name)
+
+    def lookup(self, workload, n_cpus: int, scale: Optional[MachineScale],
+               placement: str = Placement.FIRST_TOUCH) -> Optional[RunResult]:
+        return self._runs.get(self._key(workload, n_cpus, scale, placement))
+
+    def store(self, workload, n_cpus: int, scale: Optional[MachineScale],
+              placement: str, result: RunResult) -> RunResult:
+        self._runs[self._key(workload, n_cpus, scale, placement)] = result
+        return result
+
     def run(self, workload, n_cpus: int, scale: Optional[MachineScale],
             placement: str = Placement.FIRST_TOUCH) -> RunResult:
-        key = (workload.name, workload.problem_description(), n_cpus,
-               placement, (scale or workload.scale).name)
-        if key not in self._runs:
-            self._runs[key] = run_workload(
-                self.reference, workload, n_cpus, scale, placement)
-        return self._runs[key]
+        hit = self.lookup(workload, n_cpus, scale, placement)
+        if hit is None:
+            hit = self.store(workload, n_cpus, scale, placement,
+                             farm_hooks.run(RunRequest(
+                                 self.reference, workload, n_cpus, scale,
+                                 placement)))
+        return hit
 
 
 def compare_simulators(
@@ -101,15 +122,35 @@ def compare_simulators(
     """Run the matrix and return relative execution times."""
     cache = reference_cache or ReferenceCache()
     table = ComparisonTable(title or f"relative execution time, P={n_cpus}")
+    # One batch for the whole figure: references the session cache lacks,
+    # plus every simulator bar, dispatched together.
+    requests: List[RunRequest] = []
+    slots: List[Tuple[str, object, Optional[SimulatorConfig]]] = []
     for workload in workloads:
-        ref = cache.run(workload, n_cpus, scale, placement)
+        if cache.lookup(workload, n_cpus, scale, placement) is None:
+            requests.append(RunRequest(cache.reference, workload, n_cpus,
+                                       scale, placement))
+            slots.append(("ref", workload, None))
         for config in configs:
-            sim = run_workload(config, workload, n_cpus, scale, placement)
+            requests.append(RunRequest(config, workload, n_cpus, scale,
+                                       placement))
+            slots.append(("sim", workload, config))
+    outcomes = farm_hooks.dispatch(requests)
+
+    sims: Dict[Tuple[str, str], RunResult] = {}
+    for (kind, workload, config), result in zip(slots, outcomes):
+        if kind == "ref":
+            cache.store(workload, n_cpus, scale, placement, result)
+        else:
+            sims[(workload.name, config.name)] = result
+    for workload in workloads:
+        ref = cache.lookup(workload, n_cpus, scale, placement)
+        for config in configs:
             table.rows.append(ComparisonRow(
                 workload=workload.name,
                 config=config.name,
                 n_cpus=n_cpus,
-                sim_ps=sim.parallel_ps,
+                sim_ps=sims[(workload.name, config.name)].parallel_ps,
                 reference_ps=ref.parallel_ps,
             ))
     return table

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import MachineScale
+from repro.sim import farm_hooks
 from repro.sim.configs import SimulatorConfig
-from repro.sim.machine import run_workload
+from repro.sim.request import RunRequest
 from repro.validation.metrics import speedup, trend_agreement
 from repro.vm.allocators import Placement
 
@@ -75,12 +76,22 @@ def speedup_study(
     scale: Optional[MachineScale] = None,
     placement: str = Placement.FIRST_TOUCH,
 ) -> SpeedupStudy:
-    """Run *workload* at each CPU count on each configuration."""
+    """Run *workload* at each CPU count on each configuration.
+
+    The full (configuration x CPU count) grid is one farm batch; with no
+    farm active it executes serially in grid order, as it always did.
+    """
     study = SpeedupStudy(workload=workload.name)
-    for config in configs:
-        curve = SpeedupCurve(config=config.name, workload=workload.name)
-        for n_cpus in cpu_counts:
-            result = run_workload(config, workload, n_cpus, scale, placement)
-            curve.times_ps[n_cpus] = result.parallel_ps
-        study.curves.append(curve)
+    study.curves.extend(SpeedupCurve(config=config.name,
+                                     workload=workload.name)
+                        for config in configs)
+    grid = [(curve, config, n_cpus)
+            for curve, config in zip(study.curves, configs)
+            for n_cpus in cpu_counts]
+    outcomes = farm_hooks.dispatch([
+        RunRequest(config, workload, n_cpus, scale, placement)
+        for _curve, config, n_cpus in grid
+    ])
+    for (curve, _config, n_cpus), result in zip(grid, outcomes):
+        curve.times_ps[n_cpus] = result.parallel_ps
     return study

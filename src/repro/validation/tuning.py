@@ -100,12 +100,14 @@ def measure_port_occupancy_cycles(config: SimulatorConfig,
     same core from the gap between the two runs isolates the interface
     occupancy.
     """
-    from repro.sim.machine import run_workload
+    from repro.sim import farm_hooks
+    from repro.sim.request import RunRequest
 
     tight = measure_dependent_loads(config, "local_clean", scale, n_loads)
     spaced_wl = DependentLoads("local_clean", scale, n_loads,
                                spacing_ops=SPACING_OPS)
-    spaced_run = run_workload(config, spaced_wl, n_cpus=MICROBENCH_CPUS)
+    spaced_run = farm_hooks.run(
+        RunRequest(config, spaced_wl, n_cpus=MICROBENCH_CPUS))
     spaced = spaced_run.parallel_ps / n_loads / 1000.0
     chain_cycles = measure_spacing_chain_cycles(config, scale, SPACING_OPS)
     cycle_ns = config.core.clock.cycle_ps / 1000.0

@@ -217,19 +217,33 @@ def measure_dependent_loads(config, case: str,
                             scale: MachineScale = REPRO_SCALE,
                             n_loads: int = 200) -> float:
     """Measured nanoseconds per dependent load for one protocol case."""
-    from repro.sim.machine import run_workload  # local import: layer order
+    from repro.sim import farm_hooks  # local import: layer order
+    from repro.sim.request import RunRequest
 
     workload = DependentLoads(case, scale, n_loads)
-    result = run_workload(config, workload, n_cpus=MICROBENCH_CPUS)
+    result = farm_hooks.run(
+        RunRequest(config, workload, n_cpus=MICROBENCH_CPUS))
     return result.parallel_ps / n_loads / 1000.0
 
 
 def measure_all_cases(config, scale: MachineScale = REPRO_SCALE,
                       n_loads: int = 200) -> Dict[str, float]:
-    """The full Table 3 row for one simulator configuration."""
-    return {
-        case: measure_dependent_loads(config, case, scale, n_loads)
+    """The full Table 3 row for one simulator configuration.
+
+    All five protocol cases dispatch as one farm batch (they are
+    independent probes of the same configuration).
+    """
+    from repro.sim import farm_hooks  # local import: layer order
+    from repro.sim.request import RunRequest
+
+    results = farm_hooks.dispatch([
+        RunRequest(config, DependentLoads(case, scale, n_loads),
+                   n_cpus=MICROBENCH_CPUS)
         for case in PROTOCOL_CASES
+    ])
+    return {
+        case: result.parallel_ps / n_loads / 1000.0
+        for case, result in zip(PROTOCOL_CASES, results)
     }
 
 
@@ -272,19 +286,21 @@ class SpacingChain(Workload):
 def measure_spacing_chain_cycles(config, scale: MachineScale = REPRO_SCALE,
                                  spacing_ops: int = 24) -> float:
     """Per-repetition cost of the spacing chain on *config*'s core."""
-    from repro.sim.machine import run_workload
+    from repro.sim import farm_hooks
+    from repro.sim.request import RunRequest
 
     workload = SpacingChain(scale, spacing_ops)
-    result = run_workload(config, workload, n_cpus=1)
+    result = farm_hooks.run(RunRequest(config, workload, n_cpus=1))
     return result.parallel_ps / workload.reps / config.core.clock.cycle_ps
 
 
 def measure_tlb_refill(config, scale: MachineScale = REPRO_SCALE) -> float:
     """Measured cycles per TLB miss (the paper's 65-cycle quantity)."""
-    from repro.sim.machine import run_workload
+    from repro.sim import farm_hooks
+    from repro.sim.request import RunRequest
 
     workload = TlbTimer(scale)
-    result = run_workload(config, workload, n_cpus=1)
+    result = farm_hooks.run(RunRequest(config, workload, n_cpus=1))
     n_misses = workload.pages * workload.passes
     cycles = result.parallel_ps / config.core.clock.cycle_ps
     per_load = cycles / n_misses

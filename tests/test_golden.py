@@ -1,0 +1,115 @@
+"""Golden-regression net: checked-in findings snapshots for key experiments.
+
+``tests/golden/*.json`` pins the findings of three cheap, load-bearing
+experiments at ``REPRO_SCALE``: ``table1`` (machine geometry), the
+``tlb_microbench`` calibration quantities, and ``fig2`` (a full
+simulator-vs-hardware comparison).  Any simulator change that shifts
+these numbers fails here with a field-by-field diff.
+
+If the drift is *intentional*, refresh the snapshots with::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py
+
+review ``git diff tests/golden`` value by value, and commit the new
+snapshots with the change that caused them.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+REFRESH = "PYTHONPATH=src python scripts/refresh_goldens.py"
+
+_spec = importlib.util.spec_from_file_location(
+    "refresh_goldens", REPO / "scripts" / "refresh_goldens.py")
+refresh_goldens = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(refresh_goldens)
+
+
+def diff_snapshots(golden: dict, live: dict) -> str:
+    """A readable field-by-field diff between two snapshots."""
+    out = []
+    for key in ("exp_id", "scale_name"):
+        if golden[key] != live[key]:
+            out.append(f"{key}: golden {golden[key]!r} != live {live[key]!r}")
+    expected = {f["name"]: f for f in golden["findings"]}
+    actual = {f["name"]: f for f in live["findings"]}
+    for name in list(expected) + [n for n in actual if n not in expected]:
+        if name not in actual:
+            out.append(f"- finding {name!r} disappeared")
+        elif name not in expected:
+            out.append(f"+ finding {name!r} is new (not in golden)")
+        else:
+            for field in ("paper", "measured", "ok", "note"):
+                if expected[name][field] != actual[name][field]:
+                    out.append(
+                        f"finding {name!r} .{field}: "
+                        f"golden {expected[name][field]!r} != "
+                        f"live {actual[name][field]!r}")
+    return "\n".join(out)
+
+
+def check_golden(exp_id: str) -> None:
+    path = GOLDEN_DIR / f"{exp_id}.json"
+    assert path.exists(), f"missing snapshot {path}; generate with: {REFRESH}"
+    golden = json.loads(path.read_text())
+    live = refresh_goldens.snapshot(exp_id)
+    drift = diff_snapshots(golden, live)
+    if drift:
+        pytest.fail(
+            f"{exp_id} drifted from its golden snapshot:\n{drift}\n"
+            f"If this change is intentional, refresh with: {REFRESH}",
+            pytrace=False)
+
+
+@pytest.mark.golden
+class TestGoldenSnapshots:
+    @pytest.mark.parametrize("exp_id", ["table1", "tlb_microbench"])
+    def test_fast_snapshots(self, exp_id):
+        check_golden(exp_id)
+
+    @pytest.mark.slow
+    def test_fig2_snapshot(self):
+        check_golden("fig2")
+
+    def test_snapshot_set_matches_refresh_script(self):
+        on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+        assert on_disk == set(refresh_goldens.GOLDEN_IDS)
+
+
+class TestDiffReadability:
+    """The net is only useful if its failure output reads well."""
+
+    SNAP = {
+        "exp_id": "fig0", "scale_name": "repro",
+        "findings": [
+            {"name": "slowdown", "paper": "10x", "measured": "9.7x",
+             "ok": True, "note": ""},
+            {"name": "ordering", "paper": "a<b", "measured": "a<b",
+             "ok": True, "note": "monotone"},
+        ],
+    }
+
+    def test_identical_snapshots_have_no_diff(self):
+        assert diff_snapshots(self.SNAP, json.loads(json.dumps(self.SNAP))) == ""
+
+    def test_value_drift_names_field_and_both_values(self):
+        live = json.loads(json.dumps(self.SNAP))
+        live["findings"][0]["measured"] = "2.3x"
+        live["findings"][1]["ok"] = False
+        drift = diff_snapshots(self.SNAP, live)
+        assert "'slowdown' .measured: golden '9.7x' != live '2.3x'" in drift
+        assert "'ordering' .ok: golden True != live False" in drift
+
+    def test_missing_and_new_findings_reported(self):
+        live = json.loads(json.dumps(self.SNAP))
+        live["findings"] = [live["findings"][0],
+                            {"name": "extra", "paper": "-", "measured": "-",
+                             "ok": True, "note": ""}]
+        drift = diff_snapshots(self.SNAP, live)
+        assert "- finding 'ordering' disappeared" in drift
+        assert "+ finding 'extra' is new" in drift

@@ -1,9 +1,13 @@
 """Property-based tests (hypothesis) on the core data structures."""
 
+import json
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.common.canonical import canonicalize, stable_hash
 from repro.common.config import CacheGeometry, TINY_SCALE, TlbGeometry
+from repro.sim.results import RunResult
 from repro.engine import Engine, Resource
 from repro.isa.opcodes import NO_REG, Op
 from repro.isa.chunk import Chunk
@@ -138,6 +142,82 @@ class TestEngineProperties:
         assert peak[0] <= capacity
         # Work conservation: total time >= sum(holds)/capacity.
         assert env.now >= sum(holds) / capacity - 1
+
+
+# -- farm identity layer (cache keys, result serialization) ----------------
+
+_json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-2**40, 2**40),
+    st.floats(allow_nan=False), st.text(max_size=12))
+_json_values = st.recursive(
+    _json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4)),
+    max_leaves=16)
+
+
+def _reorder(value):
+    """The same value with every mapping's insertion order reversed."""
+    if isinstance(value, dict):
+        return {k: _reorder(v) for k, v in reversed(list(value.items()))}
+    if isinstance(value, list):
+        return [_reorder(v) for v in value]
+    return value
+
+
+class TestCanonicalProperties:
+    """The cache-key layer: equal content must hash equally, always."""
+
+    @_SETTINGS
+    @given(st.dictionaries(st.text(max_size=6), _json_values, max_size=5))
+    def test_mapping_order_is_irrelevant(self, mapping):
+        assert stable_hash(_reorder(mapping)) == stable_hash(mapping)
+
+    @_SETTINGS
+    @given(_json_values)
+    def test_canonical_form_is_deterministic_and_json(self, value):
+        canon = canonicalize(value)
+        assert canon == canonicalize(value)
+        assert json.loads(json.dumps(canon, sort_keys=True)) == canon
+
+    @_SETTINGS
+    @given(st.floats(allow_nan=False))
+    def test_float_repr_permutations_hash_equal(self, x):
+        # Any textual form that parses back to the same float must produce
+        # the same content address (canonicalize hashes float.hex(), not
+        # whatever repr the producer happened to use).
+        assert stable_hash(float(repr(x))) == stable_hash(x)
+        assert stable_hash(float(f"{x:.17g}")) == stable_hash(x)
+
+    @_SETTINGS
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_distinct_floats_hash_distinct(self, a, b):
+        if a != b:
+            assert stable_hash(a) != stable_hash(b)
+
+
+_names = st.text(min_size=1, max_size=10)
+_spans = st.dictionaries(
+    _names,
+    st.tuples(st.integers(0, 2**50), st.integers(0, 2**50)),
+    max_size=4)
+_stats = st.dictionaries(_names, st.floats(allow_nan=False), max_size=6)
+
+
+class TestRunResultRoundTrip:
+    @_SETTINGS
+    @given(_spans, _stats, st.integers(0, 2**50),
+           st.floats(min_value=0, max_value=1e15))
+    def test_dict_round_trip_is_exact(self, spans, stats, total, instrs):
+        result = RunResult(
+            config_name="cfg", workload_name="wl", n_cpus=4,
+            scale_name="tiny", total_ps=total, phase_spans_ps=spans,
+            instructions=instrs, stats=stats)
+        assert RunResult.from_dict(result.to_dict()) == result
+        # ... and through an actual JSON byte stream (the on-disk cache).
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert RunResult.from_dict(wire) == result
 
 
 class TestScheduleProperties:

@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Lint: no unconditional tracer calls in the engine dispatch loop.
+"""Lint: the simulator hot path stays free of observability costs.
 
 The observability contract (DESIGN.md, "Observability") is that tracing
-costs nothing when disabled.  The dispatch loop in
-``src/repro/engine/kernel.py`` runs once per calendar event -- the hottest
-code in the simulator -- so every ``record``/``record_now`` call there
-must sit behind an ``... is not None`` guard on a local.  This script
-greps for violations; ``tests/test_obs_tooling.py`` runs it in the suite.
+costs nothing when disabled.  Two rules enforce it:
 
-Exit status 0 when clean, 1 with one line per violation otherwise.
+1. The dispatch loop in ``src/repro/engine/kernel.py`` runs once per
+   calendar event -- the hottest code in the simulator -- so every
+   ``record``/``record_now`` call there must sit behind an
+   ``... is not None`` guard on a local.
+2. The metrics ledger (``repro.obs.metrics``) is a harness-side concern:
+   it hooks the farm, never the models.  Nothing under ``cpu/``, ``mem/``
+   or ``engine/`` may import it, conditionally or otherwise.
+
+This script greps for violations; ``tests/test_obs_tooling.py`` runs it
+in the suite.  Exit status 0 when clean, 1 with one line per violation
+otherwise.
 """
 
 from __future__ import annotations
@@ -31,8 +37,19 @@ HOT_PATH_FILES = (
     "src/repro/mem/tlb.py",
 )
 
+#: Directories that may never import the metrics ledger, even guarded.
+HOT_PATH_DIRS = (
+    "src/repro/cpu",
+    "src/repro/mem",
+    "src/repro/engine",
+)
+
 _TRACE_CALL = re.compile(r"\.(record|record_now)\s*\(")
 _GUARD = re.compile(r"if\s+\w+(\.\w+)*\s+is\s+not\s+None")
+_METRICS_IMPORT = re.compile(
+    r"^\s*(from\s+repro\.obs(\.metrics)?\s+import\b.*\bmetrics\b"
+    r"|import\s+repro\.obs\.metrics\b"
+    r"|from\s+repro\.obs\.metrics\s+import\b)")
 #: How many preceding lines may separate the guard from the call (the call
 #: plus its wrapped arguments must start right under the guard).
 _GUARD_WINDOW = 4
@@ -51,6 +68,15 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
     return violations
 
 
+def check_metrics_imports(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, line)`` for every metrics-ledger import."""
+    violations = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        if _METRICS_IMPORT.search(line):
+            violations.append((i + 1, line.strip()))
+    return violations
+
+
 def main(argv=None) -> int:
     root = Path(__file__).resolve().parent.parent
     targets = [root / rel for rel in HOT_PATH_FILES]
@@ -60,11 +86,20 @@ def main(argv=None) -> int:
             failed = True
             print(f"{target.relative_to(root)}:{lineno}: "
                   f"unguarded tracer call in hot path: {line}")
+    dir_files = sorted(
+        p for rel in HOT_PATH_DIRS for p in (root / rel).rglob("*.py"))
+    for target in dir_files:
+        for lineno, line in check_metrics_imports(target):
+            failed = True
+            print(f"{target.relative_to(root)}:{lineno}: "
+                  f"metrics-ledger import in hot path: {line}")
     if failed:
         print("observability contract broken: guard every tracer call with "
-              "`if <tracer> is not None` (see repro/obs/hooks.py)")
+              "`if <tracer> is not None` and keep repro.obs.metrics out of "
+              "the models (see repro/obs/hooks.py, repro/obs/metrics.py)")
         return 1
-    print(f"ok: {len(targets)} hot-path files, all tracer calls guarded")
+    print(f"ok: {len(targets)} hot-path files, all tracer calls guarded; "
+          f"{len(dir_files)} model files, no metrics-ledger imports")
     return 0
 
 

@@ -29,6 +29,13 @@ from repro.harness import run_experiment                 # noqa: E402
 #: full simulator-vs-hardware comparison figure (fig2).
 GOLDEN_IDS = ("table1", "tlb_microbench", "fig2")
 
+#: Attribution snapshots: golden id -> (workload, reference, candidate).
+#: These pin the differential-attribution waterfall end to end -- tracer,
+#: breakdown, diff -- for one workload/configuration pair.
+ATTRIBUTION_IDS = {
+    "attribution_fft_solo": ("fft", "hardware", "solo-mipsy-150-tuned"),
+}
+
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 
@@ -41,6 +48,27 @@ def snapshot(exp_id: str) -> dict:
     }
 
 
+def attribution_snapshot(golden_id: str) -> dict:
+    """The AttributionDiff payload for one pinned workload/config pair."""
+    from repro.obs import hooks
+    from repro.obs.diff import diff_runs
+    from repro.obs.trace import TraceRecorder
+    from repro.sim import farm_hooks
+    from repro.sim.configs import get_config
+    from repro.sim.request import RunRequest
+    from repro.workloads import make_app
+
+    workload_name, ref_name, cand_name = ATTRIBUTION_IDS[golden_id]
+    workload = make_app(workload_name, REPRO_SCALE)
+    runs = []
+    for config_name in (ref_name, cand_name):
+        # One fresh recorder per run: breakdowns must not blend.
+        with hooks.tracing(TraceRecorder()):
+            runs.append(farm_hooks.run(RunRequest(
+                get_config(config_name), workload, 1, REPRO_SCALE)))
+    return diff_runs(runs[0], runs[1]).to_dict()
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for exp_id in GOLDEN_IDS:
@@ -48,6 +76,11 @@ def main() -> int:
         data = snapshot(exp_id)
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} ({len(data['findings'])} findings)")
+    for golden_id in ATTRIBUTION_IDS:
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        data = attribution_snapshot(golden_id)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(data['overall'])} categories)")
     return 0
 
 

@@ -29,3 +29,7 @@ class TuningError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""
+
+
+class AttributionError(ReproError):
+    """Differential error attribution was asked for runs it cannot compare."""

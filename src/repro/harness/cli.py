@@ -8,6 +8,12 @@ PATH]``) is unchanged; the farm adds::
     --cache-dir P  cache location (default $REPRO_CACHE_DIR or
                    ~/.cache/repro/farm)
 
+and the closing-the-loop reporting adds::
+
+    --dashboard D  render dashboard.html + dashboard.md into directory D
+    --ledger P     append a metrics-ledger record per farm-dispatched run
+                   (default <D>/ledger.jsonl when --dashboard is given)
+
 Results are identical whichever combination is used: requests execute in
 deterministic per-request-seeded isolation and are collected in order, and
 cache entries are keyed by the full canonicalized request plus the package
@@ -17,6 +23,7 @@ source fingerprint (see DESIGN.md, "The experiment farm").
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -43,7 +50,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help=f"result-cache directory "
                              f"(default {default_cache_dir()})")
+    parser.add_argument("--dashboard", metavar="DIR", default=None,
+                        help="write dashboard.html + dashboard.md into DIR")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="metrics-ledger file to append run records to "
+                             "(default DIR/ledger.jsonl with --dashboard)")
     return parser
+
+
+def validate_args(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace) -> None:
+    """Reject nonsensical combinations before any simulation starts."""
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs} "
+                     "(1 means serial; N fans batches over N workers)")
+    if args.cache_dir is not None:
+        parent = os.path.dirname(os.path.abspath(args.cache_dir))
+        if not os.path.isdir(parent):
+            parser.error(
+                f"--cache-dir parent directory does not exist: {parent} "
+                "(create it first, or point --cache-dir somewhere that "
+                "exists)")
 
 
 def make_farm(args: argparse.Namespace) -> Farm:
@@ -53,12 +80,27 @@ def make_farm(args: argparse.Namespace) -> Farm:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
-    from repro.harness.runner import run_all, summarize, write_experiments_md
+    from repro.harness.runner import (
+        run_all,
+        summarize,
+        write_dashboard,
+        write_experiments_md,
+    )
+    from repro.obs import metrics as obs_metrics
 
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate_args(parser, args)
     scale = get_scale(args.scale)
     farm = make_farm(args)
-    with farm.activate():
+
+    ledger_path = args.ledger
+    if ledger_path is None and args.dashboard is not None:
+        ledger_path = os.path.join(args.dashboard, "ledger.jsonl")
+    writer = (obs_metrics.MetricsWriter(ledger_path)
+              if ledger_path is not None else None)
+
+    with obs_metrics.recording(writer), farm.activate():
         if args.experiment == "all":
             results = run_all(scale)
             print(summarize(results))
@@ -69,6 +111,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.markdown:
         write_experiments_md(results, args.markdown)
         print(f"wrote {args.markdown}")
+    if args.dashboard:
+        html_path, md_path = write_dashboard(results, args.dashboard,
+                                             ledger_path)
+        print(f"wrote {html_path} and {md_path}")
     return 0
 
 

@@ -204,7 +204,8 @@ def table3(scale: MachineScale) -> ExperimentResult:
     findings.append(Finding(
         "tuning closes the loop", "tuned within ~5% of hardware",
         f"max case error {report.max_case_error() * 100:.1f}%",
-        report.max_case_error() < 0.05))
+        report.max_case_error() < 0.05,
+        attribution=report.to_attribution()))
     return ExperimentResult("table3", _TITLES["table3"], rendered, findings)
 
 
@@ -588,4 +589,5 @@ def tuning_loop(scale: MachineScale) -> ExperimentResult:
                 report.max_case_error() < 0.05),
     ]
     return ExperimentResult("tuning_loop", _TITLES["tuning_loop"],
-                            report.format(), findings)
+                            report.format(), findings,
+                            attribution=report.to_attribution())

@@ -21,7 +21,10 @@ cost into a cache:
 * **accounting** -- per-request wall time and hit/miss counters flow into
   a :class:`~repro.common.stats.StatsRegistry` (counter set ``farm``) and,
   when observability tracing is active, into wall-clock ``farm`` spans on
-  the trace timeline.
+  the trace timeline.  When a :class:`~repro.obs.metrics.MetricsWriter`
+  is installed, every request additionally appends one record to the
+  metrics ledger (cycles, percent error, attribution, cache outcome) --
+  the history ``python -m repro.obs watch`` checks for drift.
 
 Install a farm ambiently with :meth:`Farm.activate` (the harness CLI does
 this for ``--jobs`` / ``--no-cache``); the validation and microbenchmark
@@ -42,6 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.common.canonical import code_fingerprint
 from repro.common.stats import StatsRegistry
 from repro.obs import hooks as obs_hooks
+from repro.obs import metrics as obs_metrics
 from repro.sim import farm_hooks
 from repro.sim.request import RunRequest
 from repro.sim.results import RunResult
@@ -188,6 +192,9 @@ class Farm:
                 if hit is not None:
                     self.counters.add("cache.hits")
                     self._span(request, 0.0, "hit")
+                    writer = obs_metrics.active
+                    if writer is not None:
+                        writer.observe(request, hit, 0.0, "hit", key=key)
                     results[i] = hit
                     continue
                 self.counters.add("cache.misses")
@@ -209,6 +216,9 @@ class Farm:
                 self.counters.add("executed")
                 self.counters.add("wall_ms", wall_s * 1000.0)
                 self._span(request, wall_s, "run")
+                writer = obs_metrics.active
+                if writer is not None:
+                    writer.observe(request, result, wall_s, "run", key=key)
                 if self.cache is not None:
                     self.cache.put(key, result, request)
                 for i in shared[key]:

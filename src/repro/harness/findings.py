@@ -14,13 +14,22 @@ from typing import List, Optional
 
 @dataclass
 class Finding:
-    """One paper-vs-measured comparison."""
+    """One paper-vs-measured comparison.
+
+    ``attribution`` is an optional *why* payload: a JSON-serialisable dict
+    explaining where the measured error came from (an
+    :meth:`~repro.obs.diff.AttributionDiff.to_dict` waterfall, a
+    :meth:`~repro.validation.tuning.TuningReport.to_attribution` record of
+    what the calibration changed, ...).  It rides along in :meth:`to_dict`
+    only when present, so snapshots without attributions are unchanged.
+    """
 
     name: str
     paper: str
     measured: str
     ok: bool
     note: str = ""
+    attribution: Optional[dict] = None
 
     def format(self) -> str:
         mark = "OK " if self.ok else "!! "
@@ -28,14 +37,18 @@ class Finding:
         return f"  [{mark}] {self.name}: paper {self.paper}; measured {self.measured}{note}"
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "paper": self.paper,
-                "measured": self.measured, "ok": self.ok, "note": self.note}
+        out = {"name": self.name, "paper": self.paper,
+               "measured": self.measured, "ok": self.ok, "note": self.note}
+        if self.attribution is not None:
+            out["attribution"] = self.attribution
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Finding":
         return cls(name=data["name"], paper=data["paper"],
                    measured=data["measured"], ok=data["ok"],
-                   note=data.get("note", ""))
+                   note=data.get("note", ""),
+                   attribution=data.get("attribution"))
 
 
 @dataclass
@@ -52,6 +65,10 @@ class ExperimentResult:
     #: simulations replayed from the result cache vs actually executed.
     farm_hits: int = 0
     farm_runs: int = 0
+    #: Optional experiment-level *why* payload (same contract as
+    #: :attr:`Finding.attribution`): e.g. the calibration deltas behind a
+    #: tuning experiment, serialized only when present.
+    attribution: Optional[dict] = None
 
     @property
     def all_ok(self) -> bool:
@@ -71,7 +88,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """JSON snapshot (golden-regression tests compare these)."""
-        return {
+        out = {
             "exp_id": self.exp_id,
             "title": self.title,
             "rendered": self.rendered,
@@ -79,6 +96,9 @@ class ExperimentResult:
             "wall_seconds": self.wall_seconds,
             "scale_name": self.scale_name,
         }
+        if self.attribution is not None:
+            out["attribution"] = self.attribution
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":
@@ -89,6 +109,7 @@ class ExperimentResult:
             findings=[Finding.from_dict(f) for f in data["findings"]],
             wall_seconds=data.get("wall_seconds", 0.0),
             scale_name=data.get("scale_name", ""),
+            attribution=data.get("attribution"),
         )
 
     def to_markdown(self) -> str:

@@ -12,13 +12,25 @@ the reproduction the same visibility into itself:
   cycle-attribution breakdown attached to :class:`~repro.sim.results.RunResult`;
 * :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (Perfetto) and a
   flamegraph-style text summary;
-* :mod:`repro.obs.cli` -- ``python -m repro.obs <workload> --breakdown``.
+* :mod:`repro.obs.diff` -- differential error attribution: the signed
+  per-category waterfall explaining a reference-vs-candidate cycle gap;
+* :mod:`repro.obs.metrics` -- the run-over-run metrics ledger
+  (:class:`~repro.obs.metrics.MetricsWriter`) and its drift detector;
+* :mod:`repro.obs.cli` -- ``python -m repro.obs trace|diff|watch``.
 """
 
 from repro.obs.trace import Span, TraceRecorder
 from repro.obs.hooks import install, is_enabled, tracing, uninstall
 from repro.obs.profile import CpuBreakdown, RunBreakdown, build_breakdown
 from repro.obs.export import chrome_trace, flame_summary, write_chrome_trace
+from repro.obs.diff import AttributionDiff, CategoryDelta, diff_breakdowns, diff_runs
+from repro.obs.metrics import (
+    DriftReport,
+    LedgerRecord,
+    MetricsWriter,
+    detect_drift,
+    read_ledger,
+)
 
 __all__ = [
     "Span",
@@ -33,4 +45,13 @@ __all__ = [
     "chrome_trace",
     "flame_summary",
     "write_chrome_trace",
+    "AttributionDiff",
+    "CategoryDelta",
+    "diff_breakdowns",
+    "diff_runs",
+    "DriftReport",
+    "LedgerRecord",
+    "MetricsWriter",
+    "detect_drift",
+    "read_ledger",
 ]

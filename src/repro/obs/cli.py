@@ -1,73 +1,148 @@
-"""``python -m repro.obs``: run one workload under the tracer.
+"""``python -m repro.obs``: trace, attribute, and watch the simulators.
 
-Mirrors the harness CLI shape::
+Three subcommands::
 
-    python -m repro.obs fft --config simos-mipsy-150-tuned --cpus 4 \\
-        --trace out.json --breakdown
+    # run one workload under the tracer (the historical surface; the
+    # subcommand word is optional -- a bare workload name still works)
+    python -m repro.obs trace fft --config simos-mipsy-150-tuned \\
+        --cpus 4 --trace out.json --breakdown
 
-and prints any combination of the cycle-attribution table
-(``--breakdown``), the flamegraph-style summary (``--flame``), the
-aggregate observability counters (``--obs-stats``), and writes a Perfetto-
-loadable Chrome trace (``--trace PATH``).
+    # the paper's "where did the error come from" table: run a reference
+    # and a candidate, diff their cycle-attribution breakdowns
+    python -m repro.obs diff fft --ref hardware --cand solo
+
+    # CI gate: diff the newest metrics-ledger records against history,
+    # exit nonzero on accuracy/performance drift beyond threshold
+    python -m repro.obs watch --ledger out/ledger.jsonl
+
+``diff`` accepts full configuration names (``solo-mipsy-225-tuned``) or
+the study's shorthand (``solo``, ``mipsy``, ``mxs`` -- the 150 MHz tuned
+variants).  Runs dispatch through :mod:`repro.sim.farm_hooks`, so an
+active farm caches traced reference runs across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.common.config import get_scale
 from repro.obs import hooks
+from repro.obs.diff import diff_runs
 from repro.obs.export import flame_summary, write_chrome_trace
+from repro.obs.metrics import (
+    ERROR_THRESHOLD,
+    TIME_THRESHOLD,
+    detect_drift,
+    read_ledger,
+)
 from repro.obs.trace import TraceRecorder
+from repro.sim import farm_hooks
 from repro.sim.configs import get_config
-from repro.sim.machine import run_workload
+from repro.sim.request import RunRequest
 from repro.workloads import APP_NAMES, make_app
 
 DEFAULT_CONFIG = "simos-mipsy-150-tuned"
+
+#: Where the harness writes the ledger unless told otherwise.
+DEFAULT_LEDGER = "out/ledger.jsonl"
+
+#: Shorthand for the figure lineup's usual suspects.
+CONFIG_ALIASES = {
+    "solo": "solo-mipsy-150-tuned",
+    "mipsy": "simos-mipsy-150-tuned",
+    "simos-mipsy": "simos-mipsy-150-tuned",
+    "mxs": "simos-mxs-150-tuned",
+    "simos-mxs": "simos-mxs-150-tuned",
+}
+
+
+def resolve_config(name: str):
+    """A configuration by full name or study shorthand."""
+    return get_config(CONFIG_ALIASES.get(name, name))
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.obs",
-        description="trace one workload and attribute its simulated cycles",
+        description="trace workloads, attribute simulator error, watch "
+                    "the metrics ledger",
     )
-    parser.add_argument("workload", choices=APP_NAMES,
-                        help="application to run")
-    parser.add_argument("--config", default=DEFAULT_CONFIG,
-                        help="simulator configuration name "
-                             f"(default: {DEFAULT_CONFIG})")
-    parser.add_argument("--cpus", type=int, default=4,
-                        help="number of CPUs (power of two; default 4)")
-    parser.add_argument("--scale", default="repro",
-                        help="machine scale (paper, repro, tiny)")
-    parser.add_argument("--untuned-inputs", action="store_true",
-                        help="use the pre-fix application inputs")
-    parser.add_argument("--capacity", type=int, default=65536,
-                        help="trace ring capacity in spans (default 65536)")
-    parser.add_argument("--engine-events", action="store_true",
-                        help="also record raw event-calendar dispatches")
-    parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write Chrome trace-event JSON (Perfetto) here")
-    parser.add_argument("--breakdown", action="store_true",
-                        help="print the per-CPU cycle-attribution table")
-    parser.add_argument("--flame", action="store_true",
-                        help="print a flamegraph-style span summary")
-    parser.add_argument("--obs-stats", action="store_true",
-                        help="print the aggregate observability counters")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser(
+        "trace", help="run one workload under the tracer")
+    trace.add_argument("workload", choices=APP_NAMES,
+                       help="application to run")
+    trace.add_argument("--config", default=DEFAULT_CONFIG,
+                       help="simulator configuration name "
+                            f"(default: {DEFAULT_CONFIG})")
+    trace.add_argument("--cpus", type=int, default=4,
+                       help="number of CPUs (power of two; default 4)")
+    trace.add_argument("--scale", default="repro",
+                       help="machine scale (paper, repro, tiny)")
+    trace.add_argument("--untuned-inputs", action="store_true",
+                       help="use the pre-fix application inputs")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring capacity in spans (default 65536)")
+    trace.add_argument("--engine-events", action="store_true",
+                       help="also record raw event-calendar dispatches")
+    trace.add_argument("--trace", metavar="PATH", default=None,
+                       help="write Chrome trace-event JSON (Perfetto) here")
+    trace.add_argument("--breakdown", action="store_true",
+                       help="print the per-CPU cycle-attribution table")
+    trace.add_argument("--flame", action="store_true",
+                       help="print a flamegraph-style span summary")
+    trace.add_argument("--obs-stats", action="store_true",
+                       help="print the aggregate observability counters")
+    trace.set_defaults(func=cmd_trace)
+
+    diff = sub.add_parser(
+        "diff", help="attribute the cycle gap between two configurations")
+    diff.add_argument("workload", choices=APP_NAMES,
+                      help="application to run on both configurations")
+    diff.add_argument("--ref", default="hardware",
+                      help="reference configuration (default: hardware)")
+    diff.add_argument("--cand", required=True,
+                      help="candidate configuration (full name, or "
+                           f"shorthand: {', '.join(sorted(CONFIG_ALIASES))})")
+    diff.add_argument("--cpus", type=int, default=1,
+                      help="number of CPUs (power of two; default 1)")
+    diff.add_argument("--scale", default="repro",
+                      help="machine scale (paper, repro, tiny)")
+    diff.add_argument("--untuned-inputs", action="store_true",
+                      help="use the pre-fix application inputs")
+    diff.add_argument("--capacity", type=int, default=65536,
+                      help="trace ring capacity in spans (default 65536)")
+    diff.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the AttributionDiff payload here")
+    diff.set_defaults(func=cmd_diff)
+
+    watch = sub.add_parser(
+        "watch", help="flag accuracy/perf drift in the metrics ledger")
+    watch.add_argument("--ledger", metavar="PATH", default=DEFAULT_LEDGER,
+                       help=f"ledger path (default: {DEFAULT_LEDGER})")
+    watch.add_argument("--time-threshold", type=float, default=TIME_THRESHOLD,
+                       help="relative parallel-time change that counts as "
+                            f"drift (default {TIME_THRESHOLD:g})")
+    watch.add_argument("--error-threshold", type=float,
+                       default=ERROR_THRESHOLD,
+                       help="percent-error-point change that counts as "
+                            f"drift (default {ERROR_THRESHOLD:g})")
+    watch.set_defaults(func=cmd_watch)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def cmd_trace(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     config = get_config(args.config)
     workload = make_app(args.workload, scale,
                         tuned_inputs=not args.untuned_inputs)
     recorder = TraceRecorder(args.capacity, engine_events=args.engine_events)
     with hooks.tracing(recorder):
-        result = run_workload(config, workload, args.cpus, scale)
+        result = farm_hooks.run(RunRequest(config, workload, args.cpus, scale))
 
     print(result.describe())
     print(f"traced {recorder.recorded} spans "
@@ -87,6 +162,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_chrome_trace(recorder, args.trace)
         print(f"\nwrote {args.trace} (load it at https://ui.perfetto.dev)")
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    ref_config = resolve_config(args.ref)
+    cand_config = resolve_config(args.cand)
+    workload = make_app(args.workload, scale,
+                        tuned_inputs=not args.untuned_inputs)
+    runs = []
+    for config in (ref_config, cand_config):
+        # One fresh recorder per run: breakdowns must not blend.
+        with hooks.tracing(TraceRecorder(args.capacity)):
+            runs.append(farm_hooks.run(
+                RunRequest(config, workload, args.cpus, scale)))
+    diff = diff_runs(runs[0], runs[1])
+    print(diff.format_waterfall())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(diff.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    records = read_ledger(args.ledger)
+    if not records:
+        print(f"watch: no ledger records at {args.ledger} "
+              f"(run the harness with --ledger, or --dashboard)")
+        return 0
+    report = detect_drift(records,
+                          time_threshold=args.time_threshold,
+                          error_threshold=args.error_threshold)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in APP_NAMES:
+        # Historical surface: `python -m repro.obs fft --breakdown`.
+        argv = ["trace"] + argv
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

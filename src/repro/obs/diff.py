@@ -1,0 +1,290 @@
+"""Differential error attribution: *where* did the cycle error come from.
+
+The paper never stops at "the simulator is 30% fast"; it decomposes the
+FLASH-vs-simulator gap into named causes -- no TLB model, missing L2
+interface occupancy, synchronisation imbalance -- and re-checks the
+decomposition after every tuning step.  This module automates that
+decomposition for the reproduction: given a *reference* run (normally the
+``hardware`` configuration) and a *candidate* run (Solo, SimOS-Mipsy,
+SimOS-MXS) of the same workload, both executed under the tracer so they
+carry a :class:`~repro.obs.profile.RunBreakdown`, it produces an
+:class:`AttributionDiff` -- a signed per-category waterfall explaining the
+total machine-cycle gap.
+
+The accounting is conservative by construction:
+
+* the **gap** is ground truth, computed from the runs' own engine end
+  times (``n_cpus * total_ps``), never from the trace;
+* the **explained** part is the per-category delta between the two
+  breakdowns (whose per-CPU categories sum to each CPU's traced lifetime
+  exactly);
+* whatever the traces do not cover -- start skew, post-barrier idle at
+  the end of a CPU's life -- lands in an explicit **residual** row.  The
+  residual is reported, never silently folded into a category.
+
+``python -m repro.obs diff <workload> --ref hardware --cand solo`` prints
+the resulting table; :mod:`repro.validation.comparison` attaches the same
+payload to its rows when the comparison matrix runs traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import AttributionError
+from repro.obs.profile import CATEGORIES, RunBreakdown
+
+#: Label of the explicit not-attributed row in tables and payloads.
+RESIDUAL = "residual"
+
+
+@dataclass
+class CategoryDelta:
+    """One category's contribution to the reference-vs-candidate gap."""
+
+    category: str
+    ref_ps: float
+    cand_ps: float
+
+    @property
+    def delta_ps(self) -> float:
+        """Signed contribution: positive = the candidate spends more here."""
+        return self.cand_ps - self.ref_ps
+
+    def to_dict(self) -> Dict:
+        return {"category": self.category, "ref_ps": self.ref_ps,
+                "cand_ps": self.cand_ps}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CategoryDelta":
+        return cls(category=data["category"], ref_ps=data["ref_ps"],
+                   cand_ps=data["cand_ps"])
+
+
+def diff_breakdowns(ref: RunBreakdown, cand: RunBreakdown,
+                    ) -> Tuple[List[CategoryDelta],
+                               Dict[int, List[CategoryDelta]]]:
+    """Per-category deltas between two breakdowns: (overall, per-CPU).
+
+    CPUs are paired by id; a CPU present in only one run contributes its
+    whole time on one side of the delta (the other side reads zero).
+    """
+    ref_overall = ref.overall()
+    cand_overall = cand.overall()
+    overall = [
+        CategoryDelta(cat,
+                      ref_overall.parts_ps.get(cat, 0.0),
+                      cand_overall.parts_ps.get(cat, 0.0))
+        for cat in CATEGORIES
+    ]
+    cpus = sorted({row.cpu for row in ref.per_cpu}
+                  | {row.cpu for row in cand.per_cpu})
+    per_cpu: Dict[int, List[CategoryDelta]] = {}
+    for cpu in cpus:
+        r = ref.cpu(cpu)
+        c = cand.cpu(cpu)
+        r_parts = r.parts_ps if r is not None else {}
+        c_parts = c.parts_ps if c is not None else {}
+        per_cpu[cpu] = [
+            CategoryDelta(cat, r_parts.get(cat, 0.0), c_parts.get(cat, 0.0))
+            for cat in CATEGORIES
+        ]
+    return overall, per_cpu
+
+
+@dataclass
+class AttributionDiff:
+    """The paper's "where did the error come from" table, as data.
+
+    All times are machine time (summed across CPUs) in picoseconds.  The
+    identity that holds by construction::
+
+        gap_ps == explained_ps + residual_ps
+
+    where ``gap_ps`` comes from the runs' engine clocks and
+    ``explained_ps`` from the traced breakdowns.
+    """
+
+    workload: str
+    ref_config: str
+    cand_config: str
+    n_cpus: int
+    scale_name: str
+    ref_machine_ps: int            #: n_cpus * total_ps of the reference run
+    cand_machine_ps: int
+    ref_parallel_ps: int           #: the paper's headline timing metric
+    cand_parallel_ps: int
+    overall: List[CategoryDelta] = field(default_factory=list)
+    per_cpu: Dict[int, List[CategoryDelta]] = field(default_factory=dict)
+
+    # -- derived accounting ------------------------------------------------
+
+    @property
+    def gap_ps(self) -> float:
+        """Total machine-cycle error of the candidate (ground truth)."""
+        return float(self.cand_machine_ps - self.ref_machine_ps)
+
+    @property
+    def explained_ps(self) -> float:
+        """The part of the gap the named categories account for."""
+        return sum(d.delta_ps for d in self.overall)
+
+    @property
+    def residual_ps(self) -> float:
+        """Gap the traces leave unattributed (start skew, end idle)."""
+        return self.gap_ps - self.explained_ps
+
+    @property
+    def explained_fraction(self) -> float:
+        """|explained| share of the |gap|; 1.0 when the gap is zero."""
+        if self.gap_ps == 0:
+            return 1.0
+        return 1.0 - abs(self.residual_ps) / abs(self.gap_ps)
+
+    @property
+    def percent_error(self) -> float:
+        """Signed % error of the candidate's parallel-section prediction."""
+        from repro.validation.metrics import percent_error
+
+        return percent_error(self.cand_parallel_ps, self.ref_parallel_ps)
+
+    def share(self, delta_ps: float) -> float:
+        """*delta_ps* as a signed fraction of the total gap (0 if no gap)."""
+        if self.gap_ps == 0:
+            return 0.0
+        return delta_ps / abs(self.gap_ps)
+
+    def fractions(self) -> Dict[str, float]:
+        """Signed per-category share of the gap, residual included.
+
+        This is the compact payload the metrics ledger and
+        :class:`~repro.harness.findings.Finding` attributions carry.
+        """
+        out = {d.category: self.share(d.delta_ps) for d in self.overall}
+        out[RESIDUAL] = self.share(self.residual_ps)
+        return out
+
+    # -- rendering ---------------------------------------------------------
+
+    def format_waterfall(self, width: int = 24) -> str:
+        """The attribution table: one signed bar per category."""
+        lines = [
+            f"{self.workload}: {self.cand_config} vs {self.ref_config} "
+            f"(P={self.n_cpus}, scale={self.scale_name})",
+            f"  parallel time: reference {self.ref_parallel_ps / 1e9:.3f} ms, "
+            f"candidate {self.cand_parallel_ps / 1e9:.3f} ms "
+            f"({self.percent_error:+.1f}% error)",
+            f"  machine-time gap {self.gap_ps / 1e9:+.3f} ms, "
+            f"{100 * self.explained_fraction:.1f}% attributed "
+            f"(residual {self.residual_ps / 1e9:+.3f} ms)",
+            "",
+            f"  {'category':10s} {'ref_ms':>10s} {'cand_ms':>10s} "
+            f"{'delta_ms':>10s} {'share':>8s}  waterfall",
+        ]
+        peak = max([abs(d.delta_ps) for d in self.overall]
+                   + [abs(self.residual_ps), 1.0])
+
+        def bar(delta: float) -> str:
+            n = int(round(width * abs(delta) / peak))
+            if delta >= 0:
+                return " " * width + "|" + "#" * n
+            return " " * (width - n) + "#" * n + "|"
+
+        for d in self.overall:
+            lines.append(
+                f"  {d.category:10s} {d.ref_ps / 1e9:10.3f} "
+                f"{d.cand_ps / 1e9:10.3f} {d.delta_ps / 1e9:+10.3f} "
+                f"{100 * self.share(d.delta_ps):+7.1f}%  {bar(d.delta_ps)}"
+            )
+        lines.append(
+            f"  {RESIDUAL:10s} {'':10s} {'':10s} "
+            f"{self.residual_ps / 1e9:+10.3f} "
+            f"{100 * self.share(self.residual_ps):+7.1f}%  "
+            f"{bar(self.residual_ps)}"
+        )
+        if len(self.per_cpu) > 1:
+            lines.append("")
+            lines.append("  per-CPU delta_ms by category:")
+            lines.append("  " + f"{'cpu':>4s} " + " ".join(
+                f"{cat:>9s}" for cat in CATEGORIES))
+            for cpu, deltas in sorted(self.per_cpu.items()):
+                cells = " ".join(f"{d.delta_ps / 1e9:+9.3f}" for d in deltas)
+                lines.append(f"  {cpu:4d} {cells}")
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON snapshot; includes the derived accounting for goldens."""
+        return {
+            "workload": self.workload,
+            "ref_config": self.ref_config,
+            "cand_config": self.cand_config,
+            "n_cpus": self.n_cpus,
+            "scale_name": self.scale_name,
+            "ref_machine_ps": self.ref_machine_ps,
+            "cand_machine_ps": self.cand_machine_ps,
+            "ref_parallel_ps": self.ref_parallel_ps,
+            "cand_parallel_ps": self.cand_parallel_ps,
+            "overall": [d.to_dict() for d in self.overall],
+            "per_cpu": {str(cpu): [d.to_dict() for d in deltas]
+                        for cpu, deltas in sorted(self.per_cpu.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AttributionDiff":
+        return cls(
+            workload=data["workload"],
+            ref_config=data["ref_config"],
+            cand_config=data["cand_config"],
+            n_cpus=data["n_cpus"],
+            scale_name=data["scale_name"],
+            ref_machine_ps=data["ref_machine_ps"],
+            cand_machine_ps=data["cand_machine_ps"],
+            ref_parallel_ps=data["ref_parallel_ps"],
+            cand_parallel_ps=data["cand_parallel_ps"],
+            overall=[CategoryDelta.from_dict(d) for d in data["overall"]],
+            per_cpu={int(cpu): [CategoryDelta.from_dict(d) for d in deltas]
+                     for cpu, deltas in data["per_cpu"].items()},
+        )
+
+
+def diff_runs(ref, cand) -> AttributionDiff:
+    """Attribute the cycle gap between two traced :class:`RunResult`\\ s.
+
+    Both runs must carry a breakdown (i.e. have executed under
+    :func:`repro.obs.hooks.tracing`) and must have simulated the same
+    workload at the same CPU count; anything else is an
+    :class:`~repro.common.errors.AttributionError`, not a silent zero.
+    """
+    for label, run in (("reference", ref), ("candidate", cand)):
+        if run.breakdown is None:
+            raise AttributionError(
+                f"{label} run {run.config_name!r} carries no breakdown; "
+                f"re-run it under repro.obs.hooks.tracing()"
+            )
+    if ref.workload_name != cand.workload_name:
+        raise AttributionError(
+            f"cannot attribute across workloads: reference ran "
+            f"{ref.workload_name!r}, candidate {cand.workload_name!r}"
+        )
+    if ref.n_cpus != cand.n_cpus:
+        raise AttributionError(
+            f"cannot attribute across CPU counts: reference P={ref.n_cpus}, "
+            f"candidate P={cand.n_cpus}"
+        )
+    overall, per_cpu = diff_breakdowns(ref.breakdown, cand.breakdown)
+    return AttributionDiff(
+        workload=ref.workload_name,
+        ref_config=ref.config_name,
+        cand_config=cand.config_name,
+        n_cpus=ref.n_cpus,
+        scale_name=ref.scale_name,
+        ref_machine_ps=ref.n_cpus * ref.total_ps,
+        cand_machine_ps=cand.n_cpus * cand.total_ps,
+        ref_parallel_ps=ref.parallel_ps,
+        cand_parallel_ps=cand.parallel_ps,
+        overall=overall,
+        per_cpu=per_cpu,
+    )

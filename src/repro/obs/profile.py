@@ -76,7 +76,18 @@ class RunBreakdown:
                             for row in data["per_cpu"]])
 
     def overall(self) -> CpuBreakdown:
-        """All CPUs folded together (time-weighted)."""
+        """All CPUs folded together, weighted by each CPU's cycles.
+
+        Sums the per-category picoseconds *and* the per-CPU totals before
+        dividing, so a CPU that ran twice as long contributes twice the
+        weight to every overall fraction.  This is deliberately not the
+        mean of the per-CPU fractions: with uneven per-CPU runtimes
+        (imbalanced workloads, a serial section on CPU 0) the unweighted
+        mean would let a briefly-running CPU's TLB-heavy profile swamp the
+        machine-wide picture.  E.g. CPU 0 at 1000 ps with 50% tlb and
+        CPU 1 at 3000 ps with none is 12.5% tlb overall (500/4000), not
+        the 25% a fraction average would claim.
+        """
         total = sum(row.total_ps for row in self.per_cpu)
         parts: Dict[str, float] = {cat: 0.0 for cat in CATEGORIES}
         for row in self.per_cpu:

@@ -21,6 +21,11 @@ from repro.validation.comparison import (
     ReferenceCache,
     compare_simulators,
 )
+from repro.validation.dashboard import (
+    render_dashboard,
+    render_html,
+    render_markdown,
+)
 from repro.validation.metrics import (
     mean_abs_percent_error,
     percent_error,
@@ -50,6 +55,9 @@ __all__ = [
     "ComparisonTable",
     "ReferenceCache",
     "compare_simulators",
+    "render_dashboard",
+    "render_html",
+    "render_markdown",
     "mean_abs_percent_error",
     "percent_error",
     "rank_order_preserved",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import MachineScale
+from repro.obs.diff import diff_runs
 from repro.sim import farm_hooks
 from repro.sim.configs import SimulatorConfig, hardware_config
 from repro.sim.request import RunRequest
@@ -28,13 +29,21 @@ from repro.vm.allocators import Placement
 
 @dataclass
 class ComparisonRow:
-    """One bar of a comparison figure."""
+    """One bar of a comparison figure.
+
+    ``attribution`` explains *why* the bar sits where it does: when the
+    matrix ran under the tracer (both the reference and this simulator's
+    run carry breakdowns), it holds the
+    :meth:`~repro.obs.diff.AttributionDiff.to_dict` waterfall of the gap.
+    Untraced runs leave it None at zero cost.
+    """
 
     workload: str
     config: str
     n_cpus: int
     sim_ps: int
     reference_ps: int
+    attribution: Optional[Dict] = None
 
     @property
     def relative(self) -> float:
@@ -146,11 +155,16 @@ def compare_simulators(
     for workload in workloads:
         ref = cache.lookup(workload, n_cpus, scale, placement)
         for config in configs:
+            sim = sims[(workload.name, config.name)]
+            attribution = None
+            if ref.breakdown is not None and sim.breakdown is not None:
+                attribution = diff_runs(ref, sim).to_dict()
             table.rows.append(ComparisonRow(
                 workload=workload.name,
                 config=config.name,
                 n_cpus=n_cpus,
-                sim_ps=sims[(workload.name, config.name)].parallel_ps,
+                sim_ps=sim.parallel_ps,
                 reference_ps=ref.parallel_ps,
+                attribution=attribution,
             ))
     return table

@@ -77,6 +77,28 @@ def line_chart(title: str, x_values: Sequence[int],
     return "\n".join(lines)
 
 
+#: Eight-level block glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of *values* (ledger trend rows).
+
+    Scaling is min..max of the series so small drifts stay visible; a
+    flat series renders as a line of the lowest glyph.
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(values)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[int(round(top * (v - lo) / span))] for v in values
+    )
+
+
 def kv_table(title: str, rows: Sequence[Sequence[str]],
              headers: Sequence[str]) -> str:
     """Fixed-width table."""

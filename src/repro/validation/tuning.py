@@ -68,6 +68,37 @@ class TuningReport:
             for c in self.target_cases_ns
         )
 
+    def to_attribution(self) -> Dict:
+        """The *why* payload for findings built from this calibration.
+
+        Records which knobs moved and how far each protocol case's error
+        shrank -- the tuning-side analogue of an
+        :class:`~repro.obs.diff.AttributionDiff` waterfall, attached to
+        :class:`~repro.harness.findings.Finding` rows so studies remember
+        why an error changed, not just that it did.
+        """
+        def errors(cases_ns: Dict[str, float]) -> Dict[str, float]:
+            return {
+                case: (cases_ns[case] - self.target_cases_ns[case])
+                / self.target_cases_ns[case]
+                for case in self.target_cases_ns
+            }
+
+        return {
+            "kind": "tuning",
+            "reference": self.reference_name,
+            "rounds": self.rounds,
+            "tlb_refill_cycles": {
+                "before": self.before_tlb_cycles,
+                "after": self.after_tlb_cycles,
+                "target": self.target_tlb_cycles,
+            },
+            "l2_port_occupancy_cycles": self.port_occupancy_cycles,
+            "case_extra_adjust_ps": dict(self.case_extra_adjust_ps),
+            "case_error_before": errors(self.before_cases_ns),
+            "case_error_after": errors(self.after_cases_ns),
+        }
+
     def format(self) -> str:
         lines = [f"calibration against {self.reference_name}"]
         lines.append(

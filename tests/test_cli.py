@@ -34,3 +34,51 @@ def test_unknown_scale_raises():
     from repro.common.errors import ConfigurationError
     with pytest.raises(ConfigurationError):
         main(["table1", "--scale", "galactic"])
+
+
+@pytest.mark.parametrize("jobs", ["0", "-3"])
+def test_jobs_below_one_rejected(jobs, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["table1", "--jobs", jobs])
+    assert exc.value.code == 2
+    assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+def test_cache_dir_with_missing_parent_rejected(tmp_path, capsys):
+    bad = tmp_path / "no" / "such" / "cache"
+    with pytest.raises(SystemExit) as exc:
+        main(["table1", "--cache-dir", str(bad)])
+    assert exc.value.code == 2
+    assert "--cache-dir parent directory does not exist" in \
+        capsys.readouterr().err
+
+
+def test_cache_dir_itself_may_be_new(tmp_path, capsys):
+    # Only the *parent* must exist: the cache creates its own directory.
+    fresh = tmp_path / "cache"
+    assert main(["table1", "--scale", "tiny",
+                 "--cache-dir", str(fresh)]) == 0
+
+
+def test_dashboard_flag_emits_both_files_and_ledger(tmp_path, capsys):
+    out = tmp_path / "out"
+    assert main(["fig2", "--scale", "tiny", "--no-cache",
+                 "--dashboard", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert (out / "dashboard.html").exists()
+    assert (out / "dashboard.md").exists()
+    assert "dashboard.html" in stdout
+    # Every farm-dispatched run landed in the default ledger location.
+    from repro.obs.metrics import read_ledger
+    records = read_ledger(out / "ledger.jsonl")
+    assert records and all(r.scale == "tiny" for r in records)
+    md = (out / "dashboard.md").read_text()
+    assert "shape checks hold" in md and "## Ledger trends" in md
+
+
+def test_ledger_flag_without_dashboard(tmp_path, capsys):
+    ledger = tmp_path / "runs.jsonl"
+    assert main(["tlb_microbench", "--scale", "tiny", "--no-cache",
+                 "--ledger", str(ledger)]) == 0
+    from repro.obs.metrics import read_ledger
+    assert read_ledger(ledger)

@@ -3,8 +3,10 @@
 ``tests/golden/*.json`` pins the findings of three cheap, load-bearing
 experiments at ``REPRO_SCALE``: ``table1`` (machine geometry), the
 ``tlb_microbench`` calibration quantities, and ``fig2`` (a full
-simulator-vs-hardware comparison).  Any simulator change that shifts
-these numbers fails here with a field-by-field diff.
+simulator-vs-hardware comparison), plus one differential-attribution
+waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1).  Any
+simulator change that shifts these numbers fails here with a
+field-by-field diff.
 
 If the drift is *intentional*, refresh the snapshots with::
 
@@ -76,9 +78,31 @@ class TestGoldenSnapshots:
     def test_fig2_snapshot(self):
         check_golden("fig2")
 
+    @pytest.mark.slow
+    def test_attribution_snapshot(self):
+        """The fft hardware-vs-Solo waterfall is pinned end to end."""
+        golden_id = "attribution_fft_solo"
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        assert path.exists(), \
+            f"missing snapshot {path}; generate with: {REFRESH}"
+        golden = json.loads(path.read_text())
+        live = refresh_goldens.attribution_snapshot(golden_id)
+        drift = []
+        for key in sorted(set(golden) | set(live)):
+            if golden.get(key) != live.get(key):
+                drift.append(f"{key}: golden {golden.get(key)!r} != "
+                             f"live {live.get(key)!r}")
+        if drift:
+            pytest.fail(
+                f"{golden_id} drifted from its golden snapshot:\n"
+                + "\n".join(drift)
+                + f"\nIf this change is intentional, refresh with: {REFRESH}",
+                pytrace=False)
+
     def test_snapshot_set_matches_refresh_script(self):
         on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
-        assert on_disk == set(refresh_goldens.GOLDEN_IDS)
+        assert on_disk == (set(refresh_goldens.GOLDEN_IDS)
+                           | set(refresh_goldens.ATTRIBUTION_IDS))
 
 
 class TestDiffReadability:

@@ -245,6 +245,23 @@ class TestBreakdownIntegration:
         assert row.cpu == 3
         assert row.fraction("busy") == pytest.approx(1.0)
 
+    def test_overall_is_cycle_weighted_not_a_fraction_average(self):
+        # Regression: overall() must weight each CPU by its cycles.  CPU 0
+        # runs 1000 ps with half its time in TLB refills; CPU 1 runs 3000
+        # ps with none.  Machine-wide that is 500/4000 = 12.5% tlb -- an
+        # unweighted mean of the per-CPU fractions would wrongly say 25%.
+        from repro.obs.profile import CpuBreakdown, RunBreakdown
+
+        breakdown = RunBreakdown([
+            CpuBreakdown(0, 1000, {"busy": 500.0, "tlb": 500.0}),
+            CpuBreakdown(1, 3000, {"busy": 3000.0}),
+        ])
+        overall = breakdown.overall()
+        assert overall.total_ps == 4000
+        assert overall.fraction("tlb") == pytest.approx(0.125)
+        assert overall.fraction("busy") == pytest.approx(0.875)
+        assert sum(overall.fractions().values()) == pytest.approx(1.0)
+
 
 class TestMachineSingleUse:
     def test_second_run_raises(self):

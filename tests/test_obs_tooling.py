@@ -1,7 +1,10 @@
 """The observability tooling gates, run as part of the suite.
 
 * the hot-path lint (`scripts/check_no_tracer_in_hot_path.py`) must pass
-  against the current tree and must actually detect violations;
+  against the current tree and must actually detect violations -- both
+  unguarded tracer calls and metrics-ledger imports in the models;
+* the metrics-schema check (`scripts/check_metrics_schema.py`) must pass
+  and must actually detect contract breaks;
 * the overhead benchmark must import and expose its budgets (the timed
   run itself lives in ``benchmarks/bench_obs_overhead.py``, marked slow).
 """
@@ -13,13 +16,18 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 LINT = REPO / "scripts" / "check_no_tracer_in_hot_path.py"
+SCHEMA_CHECK = REPO / "scripts" / "check_metrics_schema.py"
 
 
-def _load_lint_module():
-    spec = importlib.util.spec_from_file_location("tracer_lint", LINT)
+def _load_script(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_lint_module():
+    return _load_script(LINT, "tracer_lint")
 
 
 class TestHotPathLint:
@@ -55,6 +63,50 @@ class TestHotPathLint:
     def test_engine_kernel_is_covered(self):
         lint = _load_lint_module()
         assert "src/repro/engine/kernel.py" in lint.HOT_PATH_FILES
+
+    def test_model_directories_are_covered(self):
+        lint = _load_lint_module()
+        assert set(lint.HOT_PATH_DIRS) == {
+            "src/repro/cpu", "src/repro/mem", "src/repro/engine"}
+
+    def test_detects_metrics_import_in_models(self, tmp_path):
+        lint = _load_lint_module()
+        for line in ("from repro.obs import metrics",
+                     "from repro.obs.metrics import MetricsWriter",
+                     "import repro.obs.metrics",
+                     "from repro.obs import metrics as _m"):
+            bad = tmp_path / "model.py"
+            bad.write_text(f"{line}\n")
+            assert lint.check_metrics_imports(bad), line
+
+    def test_accepts_hooks_import_in_models(self, tmp_path):
+        # Only the ledger is banned; the guarded tracer hook is the
+        # sanctioned channel.
+        lint = _load_lint_module()
+        ok = tmp_path / "model.py"
+        ok.write_text("from repro.obs import hooks\n"
+                      "from repro.obs.hooks import ATTRIBUTED\n")
+        assert lint.check_metrics_imports(ok) == []
+
+
+class TestMetricsSchemaCheck:
+    def test_current_contract_holds(self):
+        proc = subprocess.run(
+            [sys.executable, str(SCHEMA_CHECK)], capture_output=True,
+            text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "round-trip stable" in proc.stdout
+
+    def test_detects_unbumped_schema_change(self, monkeypatch):
+        check = _load_script(SCHEMA_CHECK, "schema_check")
+        from repro.obs import metrics
+        monkeypatch.setitem(metrics.LEDGER_SCHEMA, "new_field", (str, False))
+        problems = check.check_frozen()
+        assert any("new_field" in p for p in problems)
+
+    def test_detects_lost_rejections(self):
+        check = _load_script(SCHEMA_CHECK, "schema_check")
+        assert check.check_rejections() == []
 
 
 class TestOverheadBench:

@@ -21,7 +21,7 @@ from repro.validation import (
     speedup_study,
     trend_agreement,
 )
-from repro.validation.report import bar_chart, kv_table, line_chart
+from repro.validation.report import bar_chart, kv_table, line_chart, sparkline
 from repro.workloads import make_app
 
 
@@ -54,6 +54,54 @@ class TestMetrics:
     def test_rank_order(self):
         assert rank_order_preserved([1.0, 2.0, 3.0], [10, 20, 30])
         assert not rank_order_preserved([1.0, 3.0, 2.0], [10, 20, 30])
+
+
+class TestMetricsEdgeCases:
+    """The inputs the attribution pipeline can feed the metrics."""
+
+    def test_percent_error_zero_reference_raises_not_divides(self):
+        with pytest.raises(ValueError):
+            percent_error(100, 0)
+        with pytest.raises(ValueError):
+            percent_error(100, -5)
+
+    def test_percent_error_near_zero_reference_is_finite(self):
+        err = percent_error(1.0, 1e-9)
+        assert err == pytest.approx(1e11)
+        assert err != float("inf")
+
+    def test_percent_error_zero_sim_is_minus_hundred(self):
+        assert percent_error(0, 100) == pytest.approx(-100.0)
+
+    def test_speedup_single_entry_is_the_trivial_curve(self):
+        assert speedup({1: 123.0}) == {1: 1.0}
+
+    def test_speedup_preserves_insertion_independent_order(self):
+        curve = speedup({16: 10.0, 1: 100.0, 4: 30.0})
+        assert list(curve) == [1, 4, 16]
+
+    def test_trend_agreement_disjoint_counts_raise(self):
+        with pytest.raises(ValueError):
+            trend_agreement({1: 1.0, 4: 3.0}, {1: 1.0, 8: 5.0})
+
+    def test_trend_agreement_only_p1_shared_raises(self):
+        # P=1 is 1.0 by construction on both sides; agreement there says
+        # nothing about the trend.
+        with pytest.raises(ValueError):
+            trend_agreement({1: 1.0, 4: 3.0}, {1: 1.0, 16: 9.0})
+
+    def test_trend_agreement_uses_only_shared_points(self):
+        sim = {1: 1.0, 4: 3.0, 64: 40.0}
+        ref = {1: 1.0, 4: 4.0, 16: 9.0}
+        assert trend_agreement(sim, ref) == pytest.approx(0.25)
+
+    def test_mean_abs_percent_error_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_abs_percent_error(iter(()))
+
+    def test_rank_order_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rank_order_preserved([1.0, 2.0], [1.0, 2.0, 3.0])
 
 
 class TestComparison:
@@ -154,3 +202,11 @@ class TestReport:
     def test_bar_chart_length_mismatch(self):
         with pytest.raises(ValueError):
             bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_sparkline_spans_min_to_max(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█" and len(line) == 3
+
+    def test_sparkline_flat_and_empty_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        assert sparkline([]) == ""

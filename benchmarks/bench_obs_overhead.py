@@ -1,6 +1,6 @@
 """Tracer-off vs. tracer-on overhead of the observability subsystem.
 
-Two measurements on a small Ocean run (the reference run of the
+Three measurements on a small Ocean run (the reference run of the
 observability acceptance gate):
 
 * **disabled path** -- the instrumented simulator with no tracer
@@ -11,6 +11,9 @@ observability acceptance gate):
 * **enabled path** -- the same run with a recorder installed.  Tracing is
   allowed to cost real time (it records one span per stall/transaction)
   but must stay within a small constant factor of the baseline.
+* **disabled topo path** -- the spatial recorder's hooks follow the same
+  contract through the ``repro.obs.hooks.topo`` slot; its projected
+  disabled-mode share of the run must also stay within the noise budget.
 
 Runs under pytest (``pytest benchmarks/bench_obs_overhead.py -s``; marked
 ``slow``) or directly (``python benchmarks/bench_obs_overhead.py``).
@@ -24,6 +27,7 @@ import pytest
 
 from repro.common.config import get_scale
 from repro.obs import hooks as obs_hooks
+from repro.obs import topo as obs_topo
 from repro.obs.trace import TraceRecorder
 from repro.sim.configs import get_config
 from repro.sim.machine import run_workload
@@ -64,8 +68,32 @@ def _time_guard(iterations: int = 1_000_000) -> float:
     return elapsed / iterations
 
 
+def _time_topo_guard(iterations: int = 1_000_000) -> float:
+    """Seconds per disabled topo guard -- the identical slot pattern."""
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if obs_hooks.topo is not None:  # the disabled fast path
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed / iterations
+
+
+def _topo_event_count() -> int:
+    """Counting-hook invocations one reference run generates."""
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150-tuned")
+    workload = make_app("ocean", scale)
+    recorder = obs_topo.TopoRecorder()
+    with obs_topo.recording(recorder):
+        run_workload(config, workload, 2, scale)
+    return recorder.total_events
+
+
 def measure():
     assert obs_hooks.active is None, "benchmark requires tracing disabled"
+    assert obs_hooks.topo is None, "benchmark requires topo disabled"
     t_off = min(_reference_run() for _ in range(3))
     recorder = TraceRecorder(capacity=4096)
     t_on = min(
@@ -74,6 +102,11 @@ def measure():
     )
     guard_s = _time_guard()
     projected = recorder.recorded * GUARDS_PER_SPAN * guard_s
+    topo_guard_s = _time_topo_guard()
+    topo_events = _topo_event_count()
+    # Every topo counting site is one guard; with topo disabled the sites
+    # cost exactly the guard, so the projection needs no extra factor.
+    topo_projected = topo_events * topo_guard_s
     return {
         "t_off_s": t_off,
         "t_on_s": t_on,
@@ -81,6 +114,9 @@ def measure():
         "guard_ns": guard_s * 1e9,
         "spans": recorder.recorded,
         "disabled_overhead_fraction": projected / t_off,
+        "topo_guard_ns": topo_guard_s * 1e9,
+        "topo_events": topo_events,
+        "topo_disabled_overhead_fraction": topo_projected / t_off,
     }
 
 
@@ -93,8 +129,14 @@ def test_obs_overhead():
     print(f"guard cost : {m['guard_ns']:8.1f} ns "
           f"({m['spans']} spans/run -> projected disabled overhead "
           f"{100 * m['disabled_overhead_fraction']:.2f}%)")
+    print(f"topo guard : {m['topo_guard_ns']:8.1f} ns "
+          f"({m['topo_events']} events/run -> projected disabled overhead "
+          f"{100 * m['topo_disabled_overhead_fraction']:.2f}%)")
     assert m["disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
         "disabled-tracer guards exceed the 5% budget on the reference run"
+    )
+    assert m["topo_disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-topo guards exceed the 5% budget on the reference run"
     )
     assert m["ratio"] <= MAX_ENABLED_RATIO, (
         f"enabled tracing costs {m['ratio']:.2f}x, "

@@ -11,6 +11,10 @@ costs nothing when disabled.  Two rules enforce it:
 2. The metrics ledger (``repro.obs.metrics``) is a harness-side concern:
    it hooks the farm, never the models.  Nothing under ``cpu/``, ``mem/``
    or ``engine/`` may import it, conditionally or otherwise.
+3. The spatial recorder (``repro.obs.topo``) follows the same ambient-hook
+   pattern: hot code reads the ``repro.obs.hooks.topo`` slot behind an
+   ``is not None`` guard.  Nothing under ``cpu/``, ``mem/``, ``engine/``,
+   ``memsys/`` or ``network/`` may import ``repro.obs.topo`` itself.
 
 This script greps for violations; ``tests/test_obs_tooling.py`` runs it
 in the suite.  Exit status 0 when clean, 1 with one line per violation
@@ -44,12 +48,26 @@ HOT_PATH_DIRS = (
     "src/repro/engine",
 )
 
+#: Directories that may never import the spatial recorder module; their
+#: counting hooks go through the ``repro.obs.hooks.topo`` slot instead.
+TOPO_BANNED_DIRS = (
+    "src/repro/cpu",
+    "src/repro/mem",
+    "src/repro/engine",
+    "src/repro/memsys",
+    "src/repro/network",
+)
+
 _TRACE_CALL = re.compile(r"\.(record|record_now)\s*\(")
 _GUARD = re.compile(r"if\s+\w+(\.\w+)*\s+is\s+not\s+None")
 _METRICS_IMPORT = re.compile(
     r"^\s*(from\s+repro\.obs(\.metrics)?\s+import\b.*\bmetrics\b"
     r"|import\s+repro\.obs\.metrics\b"
     r"|from\s+repro\.obs\.metrics\s+import\b)")
+_TOPO_IMPORT = re.compile(
+    r"^\s*(from\s+repro\.obs\s+import\b.*\btopo\b"
+    r"|import\s+repro\.obs\.topo\b"
+    r"|from\s+repro\.obs\.topo\s+import\b)")
 #: How many preceding lines may separate the guard from the call (the call
 #: plus its wrapped arguments must start right under the guard).
 _GUARD_WINDOW = 4
@@ -77,6 +95,15 @@ def check_metrics_imports(path: Path) -> List[Tuple[int, str]]:
     return violations
 
 
+def check_topo_imports(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, line)`` for every spatial-recorder import."""
+    violations = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        if _TOPO_IMPORT.search(line):
+            violations.append((i + 1, line.strip()))
+    return violations
+
+
 def main(argv=None) -> int:
     root = Path(__file__).resolve().parent.parent
     targets = [root / rel for rel in HOT_PATH_FILES]
@@ -93,13 +120,23 @@ def main(argv=None) -> int:
             failed = True
             print(f"{target.relative_to(root)}:{lineno}: "
                   f"metrics-ledger import in hot path: {line}")
+    topo_files = sorted(
+        p for rel in TOPO_BANNED_DIRS for p in (root / rel).rglob("*.py"))
+    for target in topo_files:
+        for lineno, line in check_topo_imports(target):
+            failed = True
+            print(f"{target.relative_to(root)}:{lineno}: "
+                  f"spatial-recorder import in hot path: {line}")
     if failed:
         print("observability contract broken: guard every tracer call with "
-              "`if <tracer> is not None` and keep repro.obs.metrics out of "
-              "the models (see repro/obs/hooks.py, repro/obs/metrics.py)")
+              "`if <tracer> is not None`, keep repro.obs.metrics out of "
+              "the models, and reach the spatial recorder only through the "
+              "repro.obs.hooks.topo slot (see repro/obs/hooks.py, "
+              "repro/obs/metrics.py, repro/obs/topo.py)")
         return 1
     print(f"ok: {len(targets)} hot-path files, all tracer calls guarded; "
-          f"{len(dir_files)} model files, no metrics-ledger imports")
+          f"{len(dir_files)} model files, no metrics-ledger imports; "
+          f"{len(topo_files)} model files, no spatial-recorder imports")
     return 0
 
 

@@ -36,6 +36,14 @@ ATTRIBUTION_IDS = {
     "attribution_fft_solo": ("fft", "hardware", "solo-mipsy-150-tuned"),
 }
 
+#: Hotspot snapshots: golden id -> (workload, configuration, n_cpus).
+#: These pin the spatial-observability pipeline end to end -- topo hooks,
+#: sampler, report -- for one run.  The run is deterministic, so the
+#: traffic matrix, hot-region table and occupancy summaries are exact.
+HOTSPOT_IDS = {
+    "hotspot_ocean_hardware": ("ocean", "hardware", 4),
+}
+
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 
@@ -69,6 +77,26 @@ def attribution_snapshot(golden_id: str) -> dict:
     return diff_runs(runs[0], runs[1]).to_dict()
 
 
+def hotspot_snapshot(golden_id: str) -> dict:
+    """The HotspotReport payload for one pinned run under the topo hooks."""
+    from repro.obs import topo as obs_topo
+    from repro.obs.hotspot import build_report
+    from repro.sim.request import RunRequest
+    from repro.sim.configs import get_config
+    from repro.workloads import make_app
+
+    workload_name, config_name, n_cpus = HOTSPOT_IDS[golden_id]
+    workload = make_app(workload_name, REPRO_SCALE)
+    # Directly executed, never farm-dispatched: the spatial counters are a
+    # side effect of simulation that a cached RunResult cannot replay.
+    request = RunRequest(get_config(config_name), workload, n_cpus,
+                         REPRO_SCALE)
+    recorder = obs_topo.TopoRecorder()
+    with obs_topo.recording(recorder):
+        result = request.execute()
+    return build_report(recorder, result).to_dict()
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for exp_id in GOLDEN_IDS:
@@ -81,6 +109,11 @@ def main() -> int:
         data = attribution_snapshot(golden_id)
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} ({len(data['overall'])} categories)")
+    for golden_id in HOTSPOT_IDS:
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        data = hotspot_snapshot(golden_id)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(data['hot_regions'])} hot regions)")
     return 0
 
 

@@ -64,9 +64,11 @@ class CpuMemInterface:
         self.params = params
         self.stats = registry.counter_set(f"iface{node}")
         self.l1d = SetAssocCache(
-            f"l1d{node}", scale.l1d, registry.counter_set(f"l1d{node}"))
+            f"l1d{node}", scale.l1d, registry.counter_set(f"l1d{node}"),
+            node=node)
         self.l2 = SetAssocCache(
-            f"l2{node}", scale.l2, registry.counter_set(f"l2{node}"))
+            f"l2{node}", scale.l2, registry.counter_set(f"l2{node}"),
+            node=node)
         self.tlb: Optional[Tlb] = (
             Tlb(scale.tlb, registry.counter_set(f"tlb{node}"))
             if model_tlb else None

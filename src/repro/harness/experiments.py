@@ -42,6 +42,7 @@ from repro.validation import (
     Tuner,
     compare_simulators,
     demonstrate_bug,
+    hotspot_evidence,
     hotspot_study,
     speedup_study,
 )
@@ -467,7 +468,14 @@ def fig7(scale: MachineScale) -> ExperimentResult:
                 f"+{numa_over_fl:.0%} vs the same-core FlashLite run",
                 numa_over_fl > 0.15),
     ]
-    return ExperimentResult("fig7", _TITLES["fig7"], rendered, findings)
+    result = ExperimentResult("fig7", _TITLES["fig7"], rendered, findings)
+    # Spatial evidence that the hotspot is real: under node-0 placement the
+    # traffic matrix collapses onto one home column.  One extra reference
+    # run under the topo recorder (outside the farm -- the spatial counters
+    # are a simulation side effect the result cache cannot replay).
+    result.attribution = hotspot_evidence(
+        hardware_config(), workload, n_cpus=8, scale=scale)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -27,11 +27,12 @@ class SetAssocCache:
     """LRU set-associative cache over line numbers."""
 
     __slots__ = ("name", "geometry", "line_shift", "n_sets", "_set_mask",
-                 "_sets", "_state", "stats")
+                 "_sets", "_state", "stats", "node")
 
     def __init__(self, name: str, geometry: CacheGeometry,
-                 stats: Optional[CounterSet] = None):
+                 stats: Optional[CounterSet] = None, node: int = 0):
         self.name = name
+        self.node = node
         self.geometry = geometry
         self.line_shift = bit_length_shift(geometry.line_bytes)
         self.n_sets = geometry.n_sets
@@ -54,6 +55,10 @@ class SetAssocCache:
             tracer = obs_hooks.active
             if tracer is not None:
                 tracer.record_now(obs_hooks.CACHE, f"{self.name}.miss")
+            topo = obs_hooks.topo
+            if topo is not None:
+                topo.count_cache_miss(self.name, self.node,
+                                      line << self.line_shift)
             return None
         self.stats.add("hits")
         ways = self._sets[line & self._set_mask]

@@ -150,6 +150,9 @@ class DsmMemorySystem:
         if tracer is not None:
             tracer.record(start, obs_hooks.DSM, f"txn.{kind}", latency,
                           {"node": node, "home": home, "case": case})
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.count_access(node, home, paddr, kind, latency)
         return env.now
 
     def _do_clean(self, node: int, home: int, line: int, entry, kind: str):
@@ -300,6 +303,9 @@ class DsmMemorySystem:
         line = paddr >> self.line_shift
         home = home_node(paddr)
         self.stats.add("req_writeback")
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.count_access(node, home, paddr, MemKind.WRITEBACK)
         yield env.timeout(p.bus_ps)
         if home != node:
             yield self.magic[node].pp_busy(p.pp_out_ps, "out")

@@ -77,6 +77,9 @@ class Network:
                           self.env.now - start,
                           {"src": src, "dst": dst, "flits": flits,
                            "hops": len(hops)})
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.count_msg(src, dst, flits, hops)
         return self.env.now
 
     def latency_bound_ps(self, src: int, dst: int, flits: int = 1) -> int:

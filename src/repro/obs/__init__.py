@@ -16,11 +16,18 @@ the reproduction the same visibility into itself:
   per-category waterfall explaining a reference-vs-candidate cycle gap;
 * :mod:`repro.obs.metrics` -- the run-over-run metrics ledger
   (:class:`~repro.obs.metrics.MetricsWriter`) and its drift detector;
-* :mod:`repro.obs.cli` -- ``python -m repro.obs trace|diff|watch``.
+* :mod:`repro.obs.topo` -- spatial observability: the
+  (requesting node, home node, address region) counters, directory
+  transitions, per-link traffic, and the queue-occupancy sampler;
+* :mod:`repro.obs.hotspot` -- folds a topo recording into the NUMA
+  traffic matrix, top-K hot regions with sharer sets, and contention heat;
+* :mod:`repro.obs.cli` -- ``python -m repro.obs trace|diff|hotspot|watch``.
 """
 
 from repro.obs.trace import Span, TraceRecorder
 from repro.obs.hooks import install, is_enabled, tracing, uninstall
+from repro.obs.topo import TopoRecorder, recording as topo_recording
+from repro.obs.hotspot import HotRegion, HotspotReport, build_report
 from repro.obs.profile import CpuBreakdown, RunBreakdown, build_breakdown
 from repro.obs.export import chrome_trace, flame_summary, write_chrome_trace
 from repro.obs.diff import AttributionDiff, CategoryDelta, diff_breakdowns, diff_runs
@@ -35,6 +42,11 @@ from repro.obs.metrics import (
 __all__ = [
     "Span",
     "TraceRecorder",
+    "TopoRecorder",
+    "topo_recording",
+    "HotRegion",
+    "HotspotReport",
+    "build_report",
     "install",
     "uninstall",
     "tracing",

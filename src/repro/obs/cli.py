@@ -1,6 +1,6 @@
-"""``python -m repro.obs``: trace, attribute, and watch the simulators.
+"""``python -m repro.obs``: trace, attribute, locate, and watch.
 
-Three subcommands::
+Four subcommands::
 
     # run one workload under the tracer (the historical surface; the
     # subcommand word is optional -- a bare workload name still works)
@@ -11,14 +11,20 @@ Three subcommands::
     # and a candidate, diff their cycle-attribution breakdowns
     python -m repro.obs diff fft --ref hardware --cand solo
 
+    # the spatial axis: run one workload under the topo recorder and
+    # print the NUMA traffic matrix, top-K hot regions, and queue heat
+    python -m repro.obs hotspot ocean --config hardware
+
     # CI gate: diff the newest metrics-ledger records against history,
     # exit nonzero on accuracy/performance drift beyond threshold
     python -m repro.obs watch --ledger out/ledger.jsonl
 
-``diff`` accepts full configuration names (``solo-mipsy-225-tuned``) or
-the study's shorthand (``solo``, ``mipsy``, ``mxs`` -- the 150 MHz tuned
-variants).  Runs dispatch through :mod:`repro.sim.farm_hooks`, so an
-active farm caches traced reference runs across invocations.
+Every configuration option accepts full configuration names
+(``solo-mipsy-225-tuned``) or the study's shorthand (``solo``, ``mipsy``,
+``mxs`` -- the 150 MHz tuned variants).  ``trace``/``diff`` runs dispatch
+through :mod:`repro.sim.farm_hooks`, so an active farm caches traced
+reference runs across invocations; ``hotspot`` always simulates fresh
+(spatial counters are a side effect the farm's result cache cannot replay).
 """
 
 from __future__ import annotations
@@ -30,8 +36,10 @@ from typing import List, Optional
 
 from repro.common.config import get_scale
 from repro.obs import hooks
+from repro.obs import topo as obs_topo
 from repro.obs.diff import diff_runs
 from repro.obs.export import flame_summary, write_chrome_trace
+from repro.obs.hotspot import build_report
 from repro.obs.metrics import (
     ERROR_THRESHOLD,
     TIME_THRESHOLD,
@@ -64,6 +72,42 @@ def resolve_config(name: str):
     return get_config(CONFIG_ALIASES.get(name, name))
 
 
+def _shorthand_help(text: str) -> str:
+    return (f"{text} (full name, or shorthand: "
+            f"{', '.join(sorted(CONFIG_ALIASES))})")
+
+
+def add_run_args(sub: argparse.ArgumentParser, default_cpus: int,
+                 config_default: Optional[str] = None,
+                 ref_cand: bool = False) -> None:
+    """The workload/config/scale argument block every run-style subcommand
+    shares.  ``config_default`` adds a ``--config`` option; ``ref_cand``
+    adds the diff-style ``--ref``/``--cand`` pair instead.  All three
+    accept full configuration names or the study shorthand
+    (:data:`CONFIG_ALIASES`), resolved via :func:`resolve_config`.
+    """
+    sub.add_argument("workload", choices=APP_NAMES,
+                     help="application to run")
+    if config_default is not None:
+        sub.add_argument("--config", default=config_default,
+                         help=_shorthand_help(
+                             "simulator configuration "
+                             f"(default: {config_default})"))
+    if ref_cand:
+        sub.add_argument("--ref", default="hardware",
+                         help=_shorthand_help(
+                             "reference configuration (default: hardware)"))
+        sub.add_argument("--cand", required=True,
+                         help=_shorthand_help("candidate configuration"))
+    sub.add_argument("--cpus", type=int, default=default_cpus,
+                     help="number of CPUs (power of two; "
+                          f"default {default_cpus})")
+    sub.add_argument("--scale", default="repro",
+                     help="machine scale (paper, repro, tiny)")
+    sub.add_argument("--untuned-inputs", action="store_true",
+                     help="use the pre-fix application inputs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.obs",
@@ -74,17 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace", help="run one workload under the tracer")
-    trace.add_argument("workload", choices=APP_NAMES,
-                       help="application to run")
-    trace.add_argument("--config", default=DEFAULT_CONFIG,
-                       help="simulator configuration name "
-                            f"(default: {DEFAULT_CONFIG})")
-    trace.add_argument("--cpus", type=int, default=4,
-                       help="number of CPUs (power of two; default 4)")
-    trace.add_argument("--scale", default="repro",
-                       help="machine scale (paper, repro, tiny)")
-    trace.add_argument("--untuned-inputs", action="store_true",
-                       help="use the pre-fix application inputs")
+    add_run_args(trace, default_cpus=4, config_default=DEFAULT_CONFIG)
     trace.add_argument("--capacity", type=int, default=65536,
                        help="trace ring capacity in spans (default 65536)")
     trace.add_argument("--engine-events", action="store_true",
@@ -101,24 +135,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     diff = sub.add_parser(
         "diff", help="attribute the cycle gap between two configurations")
-    diff.add_argument("workload", choices=APP_NAMES,
-                      help="application to run on both configurations")
-    diff.add_argument("--ref", default="hardware",
-                      help="reference configuration (default: hardware)")
-    diff.add_argument("--cand", required=True,
-                      help="candidate configuration (full name, or "
-                           f"shorthand: {', '.join(sorted(CONFIG_ALIASES))})")
-    diff.add_argument("--cpus", type=int, default=1,
-                      help="number of CPUs (power of two; default 1)")
-    diff.add_argument("--scale", default="repro",
-                      help="machine scale (paper, repro, tiny)")
-    diff.add_argument("--untuned-inputs", action="store_true",
-                      help="use the pre-fix application inputs")
+    add_run_args(diff, default_cpus=1, ref_cand=True)
     diff.add_argument("--capacity", type=int, default=65536,
                       help="trace ring capacity in spans (default 65536)")
     diff.add_argument("--json", metavar="PATH", default=None,
                       help="also write the AttributionDiff payload here")
     diff.set_defaults(func=cmd_diff)
+
+    hotspot = sub.add_parser(
+        "hotspot",
+        help="locate traffic: NUMA matrix, hot regions, queue heat")
+    add_run_args(hotspot, default_cpus=4, config_default="hardware")
+    hotspot.add_argument("--region", choices=obs_topo.REGIONS,
+                         default=obs_topo.LINE,
+                         help="address-region granularity (default: line)")
+    hotspot.add_argument("--top", type=int, default=10,
+                         help="hot regions to print (default 10)")
+    hotspot.add_argument("--sample-interval-ps", type=int,
+                         default=obs_topo.DEFAULT_SAMPLE_INTERVAL_PS,
+                         help="simulated ps between occupancy samples "
+                              f"(default {obs_topo.DEFAULT_SAMPLE_INTERVAL_PS})")
+    hotspot.add_argument("--samples", type=int,
+                         default=obs_topo.DEFAULT_SAMPLE_CAPACITY,
+                         help="occupancy ring capacity "
+                              f"(default {obs_topo.DEFAULT_SAMPLE_CAPACITY})")
+    hotspot.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the HotspotReport payload here")
+    hotspot.set_defaults(func=cmd_hotspot)
 
     watch = sub.add_parser(
         "watch", help="flag accuracy/perf drift in the metrics ledger")
@@ -137,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    config = get_config(args.config)
+    config = resolve_config(args.config)
     workload = make_app(args.workload, scale,
                         tuned_inputs=not args.untuned_inputs)
     recorder = TraceRecorder(args.capacity, engine_events=args.engine_events)
@@ -181,6 +224,31 @@ def cmd_diff(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(diff.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_hotspot(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = resolve_config(args.config)
+    workload = make_app(args.workload, scale,
+                        tuned_inputs=not args.untuned_inputs)
+    recorder = obs_topo.TopoRecorder(
+        region=args.region,
+        sample_interval_ps=args.sample_interval_ps,
+        sample_capacity=args.samples)
+    # Deliberately NOT farm_hooks.run: a cache hit would replay the
+    # RunResult without re-simulating, leaving the recorder empty.
+    request = RunRequest(config, workload, args.cpus, scale)
+    with obs_topo.recording(recorder):
+        result = request.execute()
+    report = build_report(recorder, result, top_k=args.top)
+    print(result.describe())
+    print()
+    print(report.format(top_k=args.top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")
     return 0
 

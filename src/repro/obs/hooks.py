@@ -49,6 +49,15 @@ ATTRIBUTED = (TLB, MEM, SYNC, OS)
 #: deleting the call sites.
 active: Optional[TraceRecorder] = None
 
+#: The active spatial recorder (:class:`repro.obs.topo.TopoRecorder`), or
+#: None when spatial recording is disabled.  The slot lives *here* -- not in
+#: ``repro.obs.topo`` -- so hot simulator code keeps its single sanctioned
+#: observability import (``from repro.obs import hooks``); the lint bans
+#: ``repro.obs.topo`` imports under the model directories outright.  The
+#: type is deliberately untyped at runtime (no topo import) to keep this
+#: module cycle-free and the disabled path a bare attribute load.
+topo = None
+
 
 def install(recorder: TraceRecorder) -> TraceRecorder:
     """Enable tracing into *recorder* for subsequent simulator activity."""

@@ -1,0 +1,364 @@
+"""Hotspot analysis: turn a :class:`~repro.obs.topo.TopoRecorder` into the
+paper's spatial evidence.
+
+Three views, one report:
+
+* the **NUMA traffic matrix** -- DSM transactions bucketed by (requesting
+  node, home node), the direct measurement behind the paper's hotspot
+  claims (an unplaced Radix homes everything at node 0; the matrix shows
+  one hot column);
+* **top-K hot regions** -- the lines/pages with the most traffic, each
+  with its home node, remote fraction, mean latency, requester set and the
+  peak directory sharer count (true sharing vs. a private hot buffer);
+* **contention heat** -- per-link and per-controller cumulative busy/wait
+  time plus the sampler's queue-occupancy time series.
+
+:class:`HotspotReport` is a frozen summary: it serialises to a compact
+dict (``kind: "topo"``) that rides along on ``Finding``/
+``ExperimentResult`` attribution payloads, renders in the dashboard's
+"Where in the machine" section, and pins the golden snapshot
+``tests/golden/hotspot_ocean_hardware.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.topo import TopoRecorder
+
+#: Hot regions a report keeps (sorted by accesses, region id tiebreak).
+DEFAULT_TOP_K = 10
+
+#: Occupancy series kept verbatim in the report (busiest first); the rest
+#: are summarised to (mean, max, last).
+DEFAULT_TOP_SERIES = 4
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def _spark(values: List[float]) -> str:
+    """Tiny text sparkline (shared idiom with validation.report)."""
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return "." * min(len(values), 60)
+    # Downsample long series to at most 60 glyphs, preserving shape.
+    if len(values) > 60:
+        stride = len(values) / 60.0
+        values = [max(values[int(i * stride):
+                             max(int(i * stride) + 1, int((i + 1) * stride))])
+                  for i in range(60)]
+    scale = len(_SPARK_GLYPHS) - 1
+    return "".join(_SPARK_GLYPHS[min(scale, int(v / peak * scale))]
+                   for v in values)
+
+
+@dataclass
+class HotRegion:
+    """One hot address region (line or page) and who fights over it."""
+
+    region: int              #: region id (paddr >> region_shift)
+    base_paddr: int          #: first physical address in the region
+    home: int                #: node whose memory holds it
+    accesses: int            #: DSM transactions touching it
+    remote: int              #: of those, from non-home nodes
+    mean_latency_ps: float   #: mean transaction latency
+    requesters: List[int]    #: sorted set of requesting nodes
+    peak_sharers: int        #: max directory sharer count observed
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.remote / self.accesses if self.accesses else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "region": self.region,
+            "base_paddr": self.base_paddr,
+            "home": self.home,
+            "accesses": self.accesses,
+            "remote": self.remote,
+            "mean_latency_ps": round(self.mean_latency_ps, 3),
+            "requesters": list(self.requesters),
+            "peak_sharers": self.peak_sharers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HotRegion":
+        return cls(region=data["region"], base_paddr=data["base_paddr"],
+                   home=data["home"], accesses=data["accesses"],
+                   remote=data["remote"],
+                   mean_latency_ps=data["mean_latency_ps"],
+                   requesters=list(data["requesters"]),
+                   peak_sharers=data["peak_sharers"])
+
+
+@dataclass
+class HotspotReport:
+    """Spatial summary of one (or more) runs under a TopoRecorder."""
+
+    region: str                           #: binning granularity (line/page)
+    region_bytes: int
+    n_nodes: int
+    matrix: List[List[int]]               #: [requester][home] -> accesses
+    kinds: Dict[str, int]
+    hot_regions: List[HotRegion]
+    dir_transitions: Dict[str, Dict[str, int]]   #: node -> transition -> n
+    link_heat: List[dict]                 #: per directed link: msgs/flits/...
+    occupancy: Dict[str, dict]            #: series name -> summary (+series)
+    samples: int = 0                      #: retained occupancy samples
+    samples_dropped: int = 0              #: overwritten by the ring
+    end_ps: int = 0                       #: simulated end time
+    config_name: str = ""
+    workload_name: str = ""
+    scale_name: str = ""
+    struct_misses: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(sum(row) for row in self.matrix)
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.total_accesses
+        if total == 0:
+            return 0.0
+        local = sum(self.matrix[n][n] for n in range(self.n_nodes))
+        return (total - local) / total
+
+    def home_totals(self) -> List[int]:
+        """Accesses homed at each node (the matrix column sums); a single
+        dominant column is the hotspot signature."""
+        return [sum(self.matrix[r][h] for r in range(self.n_nodes))
+                for h in range(self.n_nodes)]
+
+    def hottest_home(self) -> Tuple[int, float]:
+        """(node, share) of the node receiving the most home traffic."""
+        totals = self.home_totals()
+        total = sum(totals)
+        if total == 0:
+            return (0, 0.0)
+        node = max(range(self.n_nodes), key=lambda h: (totals[h], -h))
+        return (node, totals[node] / total)
+
+    # -- rendering ----------------------------------------------------------
+
+    def format(self, top_k: Optional[int] = None) -> str:
+        lines: List[str] = []
+        label = " / ".join(
+            part for part in (self.workload_name, self.config_name,
+                              f"P={self.n_nodes}", self.scale_name) if part)
+        lines.append(f"spatial hotspot report: {label}")
+        lines.append(
+            f"  {self.total_accesses} DSM transactions, "
+            f"{self.remote_fraction:.1%} remote, binned by {self.region} "
+            f"({self.region_bytes} B)")
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.kinds.items()))
+        if kinds:
+            lines.append(f"  kinds: {kinds}")
+        lines.append("")
+        lines.append("traffic matrix (requesting node -> home node):")
+        head = "  req\\home" + "".join(f"{h:>9}" for h in range(self.n_nodes))
+        lines.append(head + "      total")
+        for r in range(self.n_nodes):
+            row = self.matrix[r]
+            lines.append(f"  {r:>8}" + "".join(f"{v:>9}" for v in row)
+                         + f"{sum(row):>11}")
+        totals = self.home_totals()
+        lines.append("  " + "home Σ".rjust(8)
+                     + "".join(f"{v:>9}" for v in totals)
+                     + f"{sum(totals):>11}")
+        node, share = self.hottest_home()
+        if self.total_accesses:
+            lines.append(f"  hottest home: node {node} "
+                         f"({share:.1%} of all home traffic)")
+        lines.append("")
+        regions = self.hot_regions
+        if top_k is not None:
+            regions = regions[:top_k]
+        lines.append(f"top {len(regions)} hot {self.region}s:")
+        if regions:
+            lines.append("  region        home  accesses  remote%  "
+                         "lat_ns  sharers  requesters")
+            for hr in regions:
+                req = ",".join(str(n) for n in hr.requesters)
+                lines.append(
+                    f"  {hr.base_paddr:#012x}{hr.home:>6}"
+                    f"{hr.accesses:>10}{hr.remote_fraction:>8.1%}"
+                    f"{hr.mean_latency_ps / 1000.0:>8.1f}"
+                    f"{hr.peak_sharers:>9}  {req}")
+        else:
+            lines.append("  (no traffic recorded)")
+        if self.link_heat:
+            lines.append("")
+            lines.append("link heat (busiest first):")
+            lines.append("  link        msgs    flits   busy_us   wait_us")
+            for link in self.link_heat:
+                lines.append(
+                    f"  {link['link']:<9}{link['msgs']:>7}"
+                    f"{link['flits']:>9}"
+                    f"{link['busy_ps'] / 1e6:>10.2f}"
+                    f"{link['wait_ps'] / 1e6:>10.2f}")
+        occupied = [(name, info) for name, info in sorted(
+            self.occupancy.items()) if info.get("series")]
+        if occupied:
+            lines.append("")
+            lines.append(f"queue occupancy ({self.samples} samples"
+                         + (f", {self.samples_dropped} overwritten"
+                            if self.samples_dropped else "") + "):")
+            for name, info in occupied:
+                lines.append(f"  {name:<22} mean {info['mean']:>5.2f}  "
+                             f"max {info['max']:>4.0f}  "
+                             f"|{_spark(info['series'])}|")
+        return "\n".join(lines)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Attribution-payload form.  ``kind: "topo"`` discriminates it from
+        waterfall payloads (which carry ``overall``) and tuning payloads."""
+        return {
+            "kind": "topo",
+            "region": self.region,
+            "region_bytes": self.region_bytes,
+            "n_nodes": self.n_nodes,
+            "matrix": [list(row) for row in self.matrix],
+            "kinds": dict(sorted(self.kinds.items())),
+            "hot_regions": [hr.to_dict() for hr in self.hot_regions],
+            "dir_transitions": {
+                node: dict(sorted(trans.items()))
+                for node, trans in sorted(self.dir_transitions.items())
+            },
+            "link_heat": [dict(link) for link in self.link_heat],
+            "occupancy": {name: dict(info)
+                          for name, info in sorted(self.occupancy.items())},
+            "samples": self.samples,
+            "samples_dropped": self.samples_dropped,
+            "end_ps": self.end_ps,
+            "config_name": self.config_name,
+            "workload_name": self.workload_name,
+            "scale_name": self.scale_name,
+            "struct_misses": dict(sorted(self.struct_misses.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HotspotReport":
+        return cls(
+            region=data["region"],
+            region_bytes=data["region_bytes"],
+            n_nodes=data["n_nodes"],
+            matrix=[list(row) for row in data["matrix"]],
+            kinds=dict(data["kinds"]),
+            hot_regions=[HotRegion.from_dict(hr)
+                         for hr in data["hot_regions"]],
+            dir_transitions={node: dict(trans) for node, trans
+                             in data["dir_transitions"].items()},
+            link_heat=[dict(link) for link in data["link_heat"]],
+            occupancy={name: dict(info)
+                       for name, info in data["occupancy"].items()},
+            samples=data.get("samples", 0),
+            samples_dropped=data.get("samples_dropped", 0),
+            end_ps=data.get("end_ps", 0),
+            config_name=data.get("config_name", ""),
+            workload_name=data.get("workload_name", ""),
+            scale_name=data.get("scale_name", ""),
+            struct_misses=dict(data.get("struct_misses", {})),
+        )
+
+
+def is_topo_payload(payload: dict) -> bool:
+    """True if *payload* is a serialised :class:`HotspotReport`."""
+    return isinstance(payload, dict) and payload.get("kind") == "topo"
+
+
+def build_report(recorder: TopoRecorder, result=None,
+                 top_k: int = DEFAULT_TOP_K,
+                 top_series: int = DEFAULT_TOP_SERIES) -> HotspotReport:
+    """Fold *recorder*'s counters into a :class:`HotspotReport`.
+
+    *result* (a :class:`~repro.sim.results.RunResult`) only supplies the
+    run labels; all data comes from the recorder.  ``top_k`` bounds the
+    hot-region list and ``top_series`` bounds how many occupancy series
+    keep their raw samples (the rest are summarised) -- both keep the
+    serialised payload golden-snapshot sized.
+    """
+    n_nodes = recorder.n_nodes
+    if n_nodes == 0 and recorder.matrix:
+        n_nodes = 1 + max(max(pair) for pair in recorder.matrix)
+    matrix = [[0] * n_nodes for _ in range(n_nodes)]
+    for (node, home), count in recorder.matrix.items():
+        matrix[node][home] = count
+
+    ranked = sorted(recorder.regions.items(),
+                    key=lambda kv: (-kv[1].accesses, kv[0]))[:top_k]
+    hot_regions = []
+    for region, acc in ranked:
+        # Peak sharer counts are recorded per *report* region; when binning
+        # by page this folds all constituent lines' peaks together.
+        hot_regions.append(HotRegion(
+            region=region,
+            base_paddr=recorder.region_base(region),
+            home=acc.home,
+            accesses=acc.accesses,
+            remote=acc.remote,
+            mean_latency_ps=(acc.latency_ps / acc.accesses
+                             if acc.accesses else 0.0),
+            requesters=sorted(acc.requesters),
+            peak_sharers=recorder.peak_sharers.get(region, 0),
+        ))
+
+    dir_transitions: Dict[str, Dict[str, int]] = {}
+    for (home, transition), count in recorder.dir_transitions.items():
+        dir_transitions.setdefault(str(home), {})[transition] = count
+
+    heat = recorder.resource_heat
+    link_heat = []
+    for (src, dst), msgs in sorted(recorder.link_msgs.items()):
+        stats = heat.get(f"link{src}->{dst}", {})
+        link_heat.append({
+            "link": f"{src}->{dst}",
+            "msgs": msgs,
+            "flits": recorder.link_flits.get((src, dst), 0),
+            "busy_ps": stats.get("busy_ps", 0.0),
+            "wait_ps": stats.get("wait_ps", 0.0),
+            "queued_grants": stats.get("queued_grants", 0.0),
+        })
+    link_heat.sort(key=lambda d: (-d["busy_ps"], -d["msgs"], d["link"]))
+
+    busiest = sorted(
+        recorder.series.items(),
+        key=lambda kv: (-sum(kv[1].values()), kv[0]))
+    occupancy: Dict[str, dict] = {}
+    for rank, (name, ring) in enumerate(busiest):
+        values = ring.values()
+        info = {
+            "mean": (round(sum(values) / len(values), 4)
+                     if values else 0.0),
+            "max": max(values) if values else 0.0,
+            "last": values[-1] if values else 0.0,
+        }
+        if rank < top_series and values and max(values) > 0:
+            info["series"] = values
+        occupancy[name] = info
+
+    return HotspotReport(
+        region=recorder.region,
+        region_bytes=recorder.region_bytes,
+        n_nodes=n_nodes,
+        matrix=matrix,
+        kinds=dict(recorder.kinds),
+        hot_regions=hot_regions,
+        dir_transitions=dir_transitions,
+        link_heat=link_heat,
+        occupancy=occupancy,
+        samples=len(recorder.sample_t),
+        samples_dropped=recorder.sample_t.dropped,
+        end_ps=recorder.end_ps,
+        config_name=getattr(result, "config_name", ""),
+        workload_name=getattr(result, "workload_name", ""),
+        scale_name=getattr(result, "scale_name", ""),
+        struct_misses=dict(recorder.struct_misses),
+    )

@@ -1,0 +1,369 @@
+"""Spatial observability: *where* in the machine the traffic goes.
+
+PR 1's span tracer answers "which *category* of cycles diverged"; this
+module answers "*where* in the machine": which (requesting node, home
+node) pairs exchange traffic, which address regions are hot and who
+shares them, which links and controllers queue.  That is the evidence the
+paper's hotspot experiments (unplaced Radix, Figure 7) rest on -- a
+simulator that predicts the aggregate speedup for the wrong spatial
+reasons would still be wrong.
+
+The design mirrors :mod:`repro.obs.hooks` exactly:
+
+* the enable switch is a module-level slot, ``repro.obs.hooks.topo`` --
+  hot simulator code already imports ``obs.hooks`` and only ever pays a
+  load plus an ``is not None`` test when spatial recording is disabled;
+* nothing under ``cpu/``, ``mem/``, ``engine/``, ``memsys/`` or
+  ``network/`` may import *this* module
+  (``scripts/check_no_tracer_in_hot_path.py`` enforces it);
+* enabled-mode memory is bounded: counters are dicts keyed by touched
+  regions/links (bounded by the footprint), and the periodic sampler
+  writes into fixed-size :class:`RingBuffer`\\ s that overwrite their
+  oldest samples, never grow.
+
+Four hook families feed the recorder:
+
+* ``count_access``  -- one DSM transaction (``memsys/dsm.py``), bucketed
+  by (requesting node, home node, address region);
+* ``count_cache_miss`` -- one per-structure cache miss (``mem/cache.py``);
+* ``dir_transition``   -- one directory-state transition
+  (``proto/directory.py``), with the post-transition sharer count;
+* ``count_msg``        -- one network message (``network/fabric.py``),
+  charged to every link on its route.
+
+The periodic sampler is an engine process :class:`~repro.sim.machine.Machine`
+spawns when a recorder is installed; every ``sample_interval_ps`` of
+*simulated* time it snapshots per-link and per-controller queue occupancy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.mem.address import NODE_MEM_SHIFT, bit_length_shift
+from repro.obs import hooks as _hooks
+
+# -- region granularities ---------------------------------------------------
+
+LINE = "line"  #: bin addresses by cache line (the L2 line size)
+PAGE = "page"  #: bin addresses by page (the TLB page size)
+
+REGIONS = (LINE, PAGE)
+
+#: Simulated picoseconds between occupancy samples (1 us).
+DEFAULT_SAMPLE_INTERVAL_PS = 1_000_000
+
+#: Samples each occupancy series retains (oldest overwritten first).
+DEFAULT_SAMPLE_CAPACITY = 512
+
+
+class RingBuffer:
+    """Fixed-capacity ring of floats; pushing past capacity drops oldest."""
+
+    __slots__ = ("capacity", "_buf", "_next")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: List[float] = [0.0] * capacity
+        self._next = 0  # total values ever pushed
+
+    def push(self, value: float) -> None:
+        self._buf[self._next % self.capacity] = value
+        self._next += 1
+
+    @property
+    def pushed(self) -> int:
+        """Total values ever pushed (including any since overwritten)."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self._next - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._next, self.capacity)
+
+    def values(self) -> List[float]:
+        """Retained values, oldest first."""
+        if self._next <= self.capacity:
+            return self._buf[: self._next]
+        head = self._next % self.capacity
+        return self._buf[head:] + self._buf[:head]
+
+
+class _Region:
+    """Mutable per-region accumulator (kept tiny: one per touched region)."""
+
+    __slots__ = ("accesses", "remote", "latency_ps", "requesters", "home")
+
+    def __init__(self, home: int):
+        self.accesses = 0
+        self.remote = 0
+        self.latency_ps = 0
+        self.requesters: Set[int] = set()
+        self.home = home
+
+
+class TopoRecorder:
+    """Spatial counters + occupancy sampler for one (or more) runs.
+
+    Construction is cheap and binding-free so tests can drive the counting
+    API directly; :meth:`bind_machine` (called by ``Machine.run`` when the
+    recorder is installed) supplies the geometry -- line/page size, node
+    count -- and the resources the sampler walks.
+    """
+
+    def __init__(self, region: str = LINE,
+                 sample_interval_ps: int = DEFAULT_SAMPLE_INTERVAL_PS,
+                 sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
+                 line_bytes: int = 128, page_bytes: int = 4096):
+        if region not in REGIONS:
+            raise ConfigurationError(
+                f"unknown region granularity {region!r}; known: {REGIONS}")
+        if sample_interval_ps < 1:
+            raise ConfigurationError(
+                f"sample interval must be >= 1 ps, got {sample_interval_ps}")
+        self.region = region
+        self.sample_interval_ps = sample_interval_ps
+        self.sample_capacity = sample_capacity
+        self.line_shift = bit_length_shift(line_bytes)
+        self.page_shift = bit_length_shift(page_bytes)
+        self.region_shift = (self.line_shift if region == LINE
+                             else self.page_shift)
+        self.n_nodes = 0
+        #: Total counting-hook invocations (the overhead bench projects the
+        #: disabled-guard cost from this).
+        self.total_events = 0
+        # -- traffic ------------------------------------------------------
+        #: (requesting node, home node) -> DSM transaction count.
+        self.matrix: Dict[Tuple[int, int], int] = {}
+        #: transaction kind -> count (read/write/upgrade/writeback).
+        self.kinds: Dict[str, int] = {}
+        #: region id -> accumulator; bounded by the touched footprint.
+        self.regions: Dict[int, _Region] = {}
+        #: cache structure name -> miss count (mem/cache.py hooks).
+        self.struct_misses: Dict[str, int] = {}
+        #: (structure name, region id) -> miss count.
+        self.struct_regions: Dict[Tuple[str, int], int] = {}
+        #: (home node, transition) -> count (proto/directory.py hooks).
+        self.dir_transitions: Dict[Tuple[int, str], int] = {}
+        #: region id -> peak directory sharer count observed.
+        self.peak_sharers: Dict[int, int] = {}
+        # -- network ------------------------------------------------------
+        #: (src, dst) directed link -> messages routed through it.
+        self.link_msgs: Dict[Tuple[int, int], int] = {}
+        #: (src, dst) directed link -> flits routed through it.
+        self.link_flits: Dict[Tuple[int, int], int] = {}
+        # -- sampling -----------------------------------------------------
+        self.sample_t = RingBuffer(sample_capacity)
+        self.series: Dict[str, RingBuffer] = {}
+        #: Cumulative resource stats captured by :meth:`finish`:
+        #: name -> {"busy_ps": ..., "wait_ps": ..., "queued_grants": ...}.
+        self.resource_heat: Dict[str, Dict[str, float]] = {}
+        self.end_ps = 0
+        self._machine = None
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def region_bytes(self) -> int:
+        return 1 << self.region_shift
+
+    def region_of(self, paddr: int) -> int:
+        """The region id *paddr* bins into at this granularity."""
+        return paddr >> self.region_shift
+
+    def region_base(self, region: int) -> int:
+        """First physical address of *region*."""
+        return region << self.region_shift
+
+    def home_of_region(self, region: int) -> int:
+        """The node whose memory holds *region*."""
+        return self.region_base(region) >> NODE_MEM_SHIFT
+
+    def bind_machine(self, machine) -> None:
+        """Adopt *machine*'s geometry and resources (called by Machine.run).
+
+        Region binning switches to the machine scale's real line/page
+        sizes; the sampler series are created for every network link and
+        MAGIC controller.  Binding again (a second run under the same
+        recorder) accumulates into the same counters.
+        """
+        scale = machine.scale
+        self.line_shift = bit_length_shift(scale.l2.line_bytes)
+        self.page_shift = bit_length_shift(scale.tlb.page_bytes)
+        self.region_shift = (self.line_shift if self.region == LINE
+                             else self.page_shift)
+        self.n_nodes = max(self.n_nodes, machine.n_cpus)
+        self._machine = machine
+        for name, _res in self._sampled_resources():
+            self.series.setdefault(f"{name}.queue",
+                                   RingBuffer(self.sample_capacity))
+
+    def _sampled_resources(self):
+        """(name, resource) pairs the sampler snapshots, stable order."""
+        if self._machine is None:
+            return []
+        memsys = self._machine.memsys
+        out = []
+        for magic in memsys.magic:
+            out.append((f"magic{magic.node}.pp", magic.pp))
+            out.append((f"magic{magic.node}.dram", magic.dram))
+        for link, res in sorted(memsys.net._links.items()):
+            out.append((f"link{link[0]}->{link[1]}", res))
+        return out
+
+    # -- counting hooks (called from guarded sites in the simulator) --------
+
+    def count_access(self, node: int, home: int, paddr: int, kind: str,
+                     latency_ps: int = 0) -> None:
+        """One DSM transaction from *node* against memory homed at *home*."""
+        self.total_events += 1
+        pair = (node, home)
+        self.matrix[pair] = self.matrix.get(pair, 0) + 1
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        region = paddr >> self.region_shift
+        acc = self.regions.get(region)
+        if acc is None:
+            acc = self.regions[region] = _Region(home)
+        acc.accesses += 1
+        acc.latency_ps += latency_ps
+        if node != home:
+            acc.remote += 1
+        acc.requesters.add(node)
+
+    def count_cache_miss(self, name: str, node: int, paddr: int) -> None:
+        """One miss in cache structure *name* at *node*."""
+        self.total_events += 1
+        self.struct_misses[name] = self.struct_misses.get(name, 0) + 1
+        key = (name, paddr >> self.region_shift)
+        self.struct_regions[key] = self.struct_regions.get(key, 0) + 1
+
+    def dir_transition(self, home: int, line: int, transition: str,
+                       n_sharers: int = 0) -> None:
+        """One directory-state transition for *line* homed at *home*."""
+        self.total_events += 1
+        key = (home, transition)
+        self.dir_transitions[key] = self.dir_transitions.get(key, 0) + 1
+        if n_sharers > 1:
+            region = (line << self.line_shift) >> self.region_shift
+            if n_sharers > self.peak_sharers.get(region, 0):
+                self.peak_sharers[region] = n_sharers
+
+    def count_msg(self, src: int, dst: int, flits: int, links) -> None:
+        """One network message; charged to every link on its route."""
+        self.total_events += 1
+        msgs, fl = self.link_msgs, self.link_flits
+        for link in links:
+            msgs[link] = msgs.get(link, 0) + 1
+            fl[link] = fl.get(link, 0) + flits
+
+    # -- the periodic sampler ----------------------------------------------
+
+    def sampler(self, env):
+        """Engine process: snapshot queue occupancy every interval."""
+        interval = self.sample_interval_ps
+        while True:
+            yield env.timeout(interval)
+            self.take_sample(env.now)
+
+    def take_sample(self, t_ps: int) -> None:
+        """Record one occupancy sample at simulated time *t_ps*."""
+        self.sample_t.push(float(t_ps))
+        for name, res in self._sampled_resources():
+            ring = self.series.get(f"{name}.queue")
+            if ring is None:
+                ring = self.series[f"{name}.queue"] = RingBuffer(
+                    self.sample_capacity)
+            ring.push(float(res.queue_length + res.in_use))
+
+    def finish(self, end_ps: Optional[int] = None) -> None:
+        """Capture cumulative resource heat at the end of a run."""
+        if self._machine is None:
+            return
+        if end_ps is None:
+            end_ps = self._machine.env.now
+        self.end_ps = max(self.end_ps, end_ps)
+        for name, res in self._sampled_resources():
+            self.resource_heat[name] = {
+                "requests": float(res.requests),
+                "busy_ps": res.stats.get("busy_ps"),
+                "wait_ps": res.stats.get("wait_ps"),
+                "queued_grants": res.stats.get("queued_grants"),
+            }
+
+    # -- convenience reading -----------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.matrix.values())
+
+    def remote_fraction(self) -> float:
+        """Share of DSM transactions whose home is a remote node."""
+        total = self.total_accesses
+        if total == 0:
+            return 0.0
+        remote = sum(count for (node, home), count in self.matrix.items()
+                     if node != home)
+        return remote / total
+
+    def clear(self) -> None:
+        self.total_events = 0
+        self.matrix.clear()
+        self.kinds.clear()
+        self.regions.clear()
+        self.struct_misses.clear()
+        self.struct_regions.clear()
+        self.dir_transitions.clear()
+        self.peak_sharers.clear()
+        self.link_msgs.clear()
+        self.link_flits.clear()
+        self.sample_t = RingBuffer(self.sample_capacity)
+        self.series.clear()
+        self.resource_heat.clear()
+        self.end_ps = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TopoRecorder({self.region}/{self.region_bytes}B, "
+                f"{self.total_accesses} accesses, "
+                f"{len(self.regions)} regions, "
+                f"{len(self.sample_t)} samples)")
+
+
+# -- the ambient switch (slot lives in repro.obs.hooks) ---------------------
+
+def install(recorder: TopoRecorder) -> TopoRecorder:
+    """Enable spatial recording into *recorder*."""
+    _hooks.topo = recorder
+    return recorder
+
+
+def uninstall() -> None:
+    """Disable spatial recording (restore the no-op fast path)."""
+    _hooks.topo = None
+
+
+def is_enabled() -> bool:
+    return _hooks.topo is not None
+
+
+@contextmanager
+def recording(recorder: Optional[TopoRecorder] = None, **kwargs):
+    """Context manager: spatially record everything inside the block.
+
+    >>> with recording() as topo:
+    ...     result = run_workload(config, workload, 4)
+    >>> topo.matrix
+    """
+    rec = recorder if recorder is not None else TopoRecorder(**kwargs)
+    previous = _hooks.topo
+    install(rec)
+    try:
+        yield rec
+    finally:
+        _hooks.topo = previous

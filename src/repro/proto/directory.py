@@ -16,6 +16,7 @@ from typing import Dict, Optional, Set
 
 from repro.common.errors import ProtocolError
 from repro.common.stats import CounterSet
+from repro.obs import hooks as obs_hooks
 
 UNOWNED = "U"
 SHARED = "S"
@@ -67,6 +68,10 @@ class Directory:
         ent.sharers.add(node)
         ent.owner = None
         self.stats.add("to_shared")
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.dir_transition(self.node, line, "to_shared",
+                                len(ent.sharers))
 
     def set_dirty(self, line: int, owner: int) -> None:
         ent = self.entry(line)
@@ -74,6 +79,9 @@ class Directory:
         ent.owner = owner
         ent.sharers = set()
         self.stats.add("to_dirty")
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.dir_transition(self.node, line, "to_dirty")
 
     def clear(self, line: int) -> None:
         ent = self.entry(line)
@@ -81,6 +89,9 @@ class Directory:
         ent.sharers = set()
         ent.owner = None
         self.stats.add("to_unowned")
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.dir_transition(self.node, line, "to_unowned")
 
     def drop_sharer(self, line: int, node: int) -> None:
         ent = self.entry(line)
@@ -88,6 +99,9 @@ class Directory:
         if not ent.sharers and ent.state == SHARED:
             ent.state = UNOWNED
             self.stats.add("to_unowned")
+            topo = obs_hooks.topo
+            if topo is not None:
+                topo.dir_transition(self.node, line, "to_unowned")
 
     def check_invariants(self, line: int) -> None:
         """Raise ProtocolError if the entry is internally inconsistent."""

@@ -82,6 +82,12 @@ class Machine:
             tracer.bind_engine(self.env)
             if tracer.engine_events:
                 self.env.tracer = tracer
+        topo = obs_hooks.topo
+        if topo is not None:
+            topo.bind_machine(self)
+            # The sampler never finishes; Engine.run checks the until
+            # event before each step, so it cannot keep the run alive.
+            self.env.process(topo.sampler(self.env), name="topo.sampler")
         traces = workload.build(self.n_cpus)
         if len(traces) != self.n_cpus:
             raise ConfigurationError(
@@ -113,6 +119,8 @@ class Machine:
         )
         if tracer is not None:
             result.breakdown = build_breakdown(tracer)
+        if topo is not None:
+            topo.finish(self.env.now)
         return result
 
 

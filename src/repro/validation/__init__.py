@@ -34,7 +34,11 @@ from repro.validation.metrics import (
     speedup,
     trend_agreement,
 )
-from repro.validation.sensitivity import HotspotStudy, hotspot_study
+from repro.validation.sensitivity import (
+    HotspotStudy,
+    hotspot_evidence,
+    hotspot_study,
+)
 from repro.validation.trends import (
     DEFAULT_CPU_COUNTS,
     SpeedupCurve,
@@ -65,6 +69,7 @@ __all__ = [
     "speedup",
     "trend_agreement",
     "HotspotStudy",
+    "hotspot_evidence",
     "hotspot_study",
     "DEFAULT_CPU_COUNTS",
     "SpeedupCurve",

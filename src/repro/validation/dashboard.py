@@ -48,6 +48,11 @@ def _is_waterfall(payload: Dict) -> bool:
     return isinstance(payload, dict) and "overall" in payload
 
 
+def _is_topo(payload: Dict) -> bool:
+    """True for HotspotReport-shaped payloads (the spatial evidence)."""
+    return isinstance(payload, dict) and payload.get("kind") == "topo"
+
+
 def collect_attributions(results: Sequence) -> List[Tuple[str, str, Dict]]:
     """Every attribution payload in *results*: (exp_id, owner, payload)."""
     out = []
@@ -122,6 +127,50 @@ def _md_tuning(exp_id: str, owner: str, payload: Dict) -> List[str]:
     return lines
 
 
+def _md_topo(exp_id: str, owner: str, payload: Dict) -> List[str]:
+    from repro.obs.hotspot import HotspotReport
+
+    report = HotspotReport.from_dict(payload)
+    where = f"`{exp_id}`" + (f" / {owner}" if owner else "")
+    node, share = report.hottest_home()
+    lines = [
+        f"**{where}** — {report.workload_name} on `{report.config_name}` "
+        f"(P={report.n_nodes}): {report.total_accesses} DSM transactions, "
+        f"{100 * report.remote_fraction:.1f}% remote, hottest home node "
+        f"{node} ({100 * share:.1f}% of home traffic)",
+        "",
+        "| req\\home | " + " | ".join(str(h) for h in range(report.n_nodes))
+        + " |",
+        "|---|" + "---:|" * report.n_nodes,
+    ]
+    for r in range(report.n_nodes):
+        lines.append(f"| **{r}** | "
+                     + " | ".join(str(v) for v in report.matrix[r]) + " |")
+    lines.append("")
+    if report.hot_regions:
+        lines += [
+            f"Top hot {report.region}s ({report.region_bytes} B):",
+            "",
+            "| region | home | accesses | remote | sharers | requesters |",
+            "|---|---:|---:|---:|---:|---|",
+        ]
+        for hr in report.hot_regions[:5]:
+            req = ",".join(str(n) for n in hr.requesters)
+            lines.append(
+                f"| `{hr.base_paddr:#x}` | {hr.home} | {hr.accesses} "
+                f"| {100 * hr.remote_fraction:.0f}% | {hr.peak_sharers} "
+                f"| {req} |")
+        lines.append("")
+    if report.link_heat:
+        busiest = report.link_heat[0]
+        lines.append(
+            f"Busiest link `{busiest['link']}`: {busiest['msgs']} messages, "
+            f"{busiest['busy_ps'] / 1e6:.2f} us busy, "
+            f"{busiest['wait_ps'] / 1e6:.2f} us queued.")
+        lines.append("")
+    return lines
+
+
 def render_markdown(results: Sequence, ledger_records: Sequence = (),
                     title: str = "Validation dashboard") -> str:
     total = sum(len(r.findings) for r in results)
@@ -169,6 +218,16 @@ def render_markdown(results: Sequence, ledger_records: Sequence = (),
                 lines += _md_waterfall(exp_id, owner, payload)
             elif payload.get("kind") == "tuning":
                 lines += _md_tuning(exp_id, owner, payload)
+
+    topos = [(e, o, p) for e, o, p in attributions if _is_topo(p)]
+    if topos:
+        lines += ["## Where in the machine", "",
+                  "Spatial evidence from the topo recorder: DSM traffic "
+                  "bucketed by (requesting node, home node), the hottest "
+                  "address regions with their sharer sets, and link heat.",
+                  ""]
+        for exp_id, owner, payload in topos:
+            lines += _md_topo(exp_id, owner, payload)
 
     trends = [r for r in results if r.exp_id in TREND_EXPERIMENTS]
     if trends:
@@ -293,6 +352,67 @@ def _html_sparkline(values: List[float], width: int = 120,
             f'points="{" ".join(pts)}"/></svg>')
 
 
+def _html_topo_parts(exp_id: str, owner: str, payload: Dict) -> List[str]:
+    from repro.obs.hotspot import HotspotReport
+
+    report = HotspotReport.from_dict(payload)
+    where = f"<code>{_esc(exp_id)}</code>" + \
+        (f" / {_esc(owner)}" if owner else "")
+    node, share = report.hottest_home()
+    parts = [
+        f"<h3>{where} — {_esc(report.workload_name)} on "
+        f"<code>{_esc(report.config_name)}</code> (P={report.n_nodes})</h3>",
+        f"<p class=sub>{report.total_accesses} DSM transactions, "
+        f"{100 * report.remote_fraction:.1f}% remote; hottest home node "
+        f"{node} ({100 * share:.1f}% of home traffic)</p>",
+        "<table><tr><th>req\\home</th>"
+        + "".join(f"<th class=num>{h}</th>" for h in range(report.n_nodes))
+        + "</tr>",
+    ]
+    peak = max((max(row) for row in report.matrix if row), default=0) or 1
+    for r in range(report.n_nodes):
+        cells = []
+        for value in report.matrix[r]:
+            # Heat-shade: diverging-warm alpha scaled to the hottest cell.
+            alpha = 0.45 * value / peak
+            style = (f' style="background:'
+                     f'color-mix(in srgb, var(--pos) {100 * alpha:.0f}%, '
+                     f'transparent)"') if value else ""
+            cells.append(f"<td class=num{style}>{value}</td>")
+        parts.append(f"<tr><th class=num>{r}</th>{''.join(cells)}</tr>")
+    parts.append("</table>")
+    if report.hot_regions:
+        parts.append(
+            f"<table><tr><th>hot {_esc(report.region)}</th>"
+            "<th class=num>home</th><th class=num>accesses</th>"
+            "<th class=num>remote</th><th class=num>sharers</th>"
+            "<th>requesters</th></tr>")
+        for hr in report.hot_regions[:5]:
+            req = ",".join(str(n) for n in hr.requesters)
+            parts.append(
+                f"<tr><td><code>{hr.base_paddr:#x}</code></td>"
+                f"<td class=num>{hr.home}</td>"
+                f"<td class=num>{hr.accesses}</td>"
+                f"<td class=num>{100 * hr.remote_fraction:.0f}%</td>"
+                f"<td class=num>{hr.peak_sharers}</td>"
+                f"<td>{_esc(req)}</td></tr>")
+        parts.append("</table>")
+    sampled = [(name, info) for name, info in sorted(
+        report.occupancy.items()) if info.get("series")]
+    if sampled:
+        parts.append("<table><tr><th>queue</th><th class=num>mean</th>"
+                     "<th class=num>max</th><th>occupancy over time</th>"
+                     "</tr>")
+        for name, info in sampled:
+            parts.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f"<td class=num>{info['mean']:.2f}</td>"
+                f"<td class=num>{info['max']:.0f}</td>"
+                f"<td>{_html_sparkline(info['series'])}</td></tr>")
+        parts.append("</table>")
+    return parts
+
+
 def render_html(results: Sequence, ledger_records: Sequence = (),
                 title: str = "Validation dashboard") -> str:
     total = sum(len(r.findings) for r in results)
@@ -386,6 +506,16 @@ def render_html(results: Sequence, ledger_records: Sequence = (),
                          f"{100 * before[case]:+.1f}% → "
                          f"{100 * after.get(case, 0):+.1f}%</li>")
         parts.append("</ul>")
+
+    topos = [(e, o, p) for e, o, p in attributions if _is_topo(p)]
+    if topos:
+        parts.append(
+            "<h2>Where in the machine</h2>"
+            "<p class=legend>spatial evidence from the topo recorder: "
+            "traffic by (requesting node, home node), hottest regions with "
+            "sharer sets, and sampled queue occupancy</p>")
+        for exp_id, owner, payload in topos:
+            parts.extend(_html_topo_parts(exp_id, owner, payload))
 
     trends = [r for r in results if r.exp_id in TREND_EXPERIMENTS]
     if trends:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import MachineScale
 from repro.sim.configs import SimulatorConfig
+from repro.sim.request import RunRequest
 from repro.validation.trends import SpeedupStudy, speedup_study
 from repro.vm.allocators import Placement
 
@@ -54,3 +55,32 @@ def hotspot_study(
     study = speedup_study(configs, workload, cpu_counts, scale,
                           placement=Placement.NODE0)
     return HotspotStudy(study=study, reference=reference_name)
+
+
+def hotspot_evidence(
+    config: SimulatorConfig,
+    workload,
+    n_cpus: int = 8,
+    scale: Optional[MachineScale] = None,
+    placement: str = Placement.NODE0,
+) -> dict:
+    """Spatial evidence *that* the hotspot exists: one run under the topo
+    recorder, folded into a HotspotReport payload (``kind: "topo"``).
+
+    The study above only shows the speedup is poor; this shows *why* --
+    under node-0 placement the traffic matrix collapses onto one home
+    column.  Attach the returned dict as a Finding/ExperimentResult
+    attribution and the dashboard renders it in "Where in the machine".
+
+    Runs outside the experiment farm on purpose: the recorder's counters
+    are a side effect of simulation that a cached RunResult cannot replay.
+    """
+    from repro.obs import topo as obs_topo
+    from repro.obs.hotspot import build_report
+
+    request = RunRequest(config, workload, n_cpus,
+                         scale or workload.scale, placement=placement)
+    recorder = obs_topo.TopoRecorder()
+    with obs_topo.recording(recorder):
+        result = request.execute()
+    return build_report(recorder, result).to_dict()

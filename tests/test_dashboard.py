@@ -39,6 +39,27 @@ def tuning_payload():
             "case_error_after": {"local_clean": 0.01}}
 
 
+def topo_payload():
+    from repro.obs.hotspot import build_report
+    from repro.obs.topo import TopoRecorder
+
+    rec = TopoRecorder(region="line", line_bytes=128)
+    # Hotspot shape: node 0 homes almost everything (node-0 placement).
+    for requester in range(4):
+        for i in range(10):
+            rec.count_access(requester, 0, i * 128, "read", 500)
+    rec.count_access(1, 1, (1 << 28) + 128, "write", 100)
+    rec.dir_transition(0, 0, "to_shared", 3)
+    rec.count_msg(1, 0, 4, [(1, 0)])
+    rec.n_nodes = 4
+    rec.take_sample(1000)
+    rec.take_sample(2000)
+    payload = build_report(rec).to_dict()
+    payload["config_name"] = "hardware"
+    payload["workload_name"] = "radix"
+    return payload
+
+
 def results():
     return [
         ExperimentResult(
@@ -61,6 +82,11 @@ def results():
             exp_id="tuning_loop", title="calibration", rendered="knobs…",
             findings=[], wall_seconds=0.5, scale_name="tiny",
             attribution=tuning_payload()),
+        ExperimentResult(
+            exp_id="fig7", title="unplaced radix hotspot", rendered="rows…",
+            findings=[Finding("hotspot", "poor", "poor", True)],
+            wall_seconds=0.5, scale_name="tiny",
+            attribution=topo_payload()),
     ]
 
 
@@ -81,7 +107,8 @@ class TestHelpers:
         owners = {(e, o) for e, o, _ in found}
         assert ("fig2", "solo fast") in owners
         assert ("tuning_loop", "") in owners
-        assert len(found) == 2
+        assert ("fig7", "") in owners
+        assert len(found) == 3
 
     def test_group_ledger_keys_by_run_identity(self):
         groups = group_ledger(ledger_records())
@@ -92,7 +119,7 @@ class TestHelpers:
 class TestMarkdown:
     def test_headline_and_experiment_table(self):
         text = render_markdown(results())
-        assert "**3/4 shape checks hold**" in text
+        assert "**4/5 shape checks hold**" in text
         assert "| `fig2` simulator vs hardware | 1/2 | ✗ 1 off |" in text
         assert "mxs close" in text     # failing check is listed
 
@@ -101,6 +128,23 @@ class TestMarkdown:
         assert "## Where the error comes from" in text
         assert "| tlb |" in text and "| residual |" in text
         assert "TLB refill 25 → 65 cycles (target 65)" in text
+
+    def test_where_in_the_machine_section(self):
+        text = render_markdown(results())
+        assert "## Where in the machine" in text
+        # The hotspot signature: node 0 takes nearly all home traffic.
+        assert "hottest home node 0" in text
+        assert "| req\\home |" in text
+        assert "Top hot lines (128 B):" in text
+        assert "Busiest link `1->0`" in text
+
+    def test_topo_payload_is_not_mistaken_for_a_waterfall(self):
+        from repro.validation.dashboard import _is_topo, _is_waterfall
+        payload = topo_payload()
+        assert _is_topo(payload)
+        assert not _is_waterfall(payload)
+        assert not _is_topo(waterfall_payload())
+        assert not _is_topo(tuning_payload())
 
     def test_trend_and_ledger_sections(self):
         text = render_markdown(results(), ledger_records())
@@ -126,6 +170,13 @@ class TestHtml:
         html = render_html(results(), ledger_records())
         assert 'class="wf"' in html and "residual" in html
         assert "<svg class=spark" in html and "<polyline" in html
+
+    def test_where_in_the_machine_section(self):
+        html = render_html(results())
+        assert "Where in the machine" in html
+        assert "req\\home" in html
+        # The hottest matrix cell gets a heat-shaded background.
+        assert "color-mix" in html
 
     def test_content_is_escaped(self):
         rows = results()

@@ -4,9 +4,10 @@
 experiments at ``REPRO_SCALE``: ``table1`` (machine geometry), the
 ``tlb_microbench`` calibration quantities, and ``fig2`` (a full
 simulator-vs-hardware comparison), plus one differential-attribution
-waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1).  Any
-simulator change that shifts these numbers fails here with a
-field-by-field diff.
+waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1) and one
+spatial-hotspot report (``hotspot_ocean_hardware``: ocean on hardware,
+P=4, under the topo recorder).  Any simulator change that shifts these
+numbers fails here with a field-by-field diff.
 
 If the drift is *intentional*, refresh the snapshots with::
 
@@ -99,10 +100,33 @@ class TestGoldenSnapshots:
                 + f"\nIf this change is intentional, refresh with: {REFRESH}",
                 pytrace=False)
 
+    @pytest.mark.slow
+    def test_hotspot_snapshot(self):
+        """The ocean-on-hardware spatial report is pinned end to end:
+        topo hooks, sampler, and report fold must all be deterministic."""
+        golden_id = "hotspot_ocean_hardware"
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        assert path.exists(), \
+            f"missing snapshot {path}; generate with: {REFRESH}"
+        golden = json.loads(path.read_text())
+        live = refresh_goldens.hotspot_snapshot(golden_id)
+        drift = []
+        for key in sorted(set(golden) | set(live)):
+            if golden.get(key) != live.get(key):
+                drift.append(f"{key}: golden {golden.get(key)!r} != "
+                             f"live {live.get(key)!r}")
+        if drift:
+            pytest.fail(
+                f"{golden_id} drifted from its golden snapshot:\n"
+                + "\n".join(drift)
+                + f"\nIf this change is intentional, refresh with: {REFRESH}",
+                pytrace=False)
+
     def test_snapshot_set_matches_refresh_script(self):
         on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
         assert on_disk == (set(refresh_goldens.GOLDEN_IDS)
-                           | set(refresh_goldens.ATTRIBUTION_IDS))
+                           | set(refresh_goldens.ATTRIBUTION_IDS)
+                           | set(refresh_goldens.HOTSPOT_IDS))
 
 
 class TestDiffReadability:

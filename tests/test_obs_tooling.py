@@ -88,6 +88,35 @@ class TestHotPathLint:
                       "from repro.obs.hooks import ATTRIBUTED\n")
         assert lint.check_metrics_imports(ok) == []
 
+    def test_topo_ban_covers_spatial_model_directories(self):
+        # The spatial recorder's hook sites live in memsys/ and network/
+        # too, so the topo import ban is wider than the metrics one.
+        lint = _load_lint_module()
+        assert set(lint.TOPO_BANNED_DIRS) == {
+            "src/repro/cpu", "src/repro/mem", "src/repro/engine",
+            "src/repro/memsys", "src/repro/network"}
+        assert set(lint.HOT_PATH_DIRS) <= set(lint.TOPO_BANNED_DIRS)
+
+    def test_detects_topo_import_in_models(self, tmp_path):
+        lint = _load_lint_module()
+        for line in ("from repro.obs import topo",
+                     "from repro.obs.topo import TopoRecorder",
+                     "import repro.obs.topo",
+                     "from repro.obs import topo as obs_topo"):
+            bad = tmp_path / "model.py"
+            bad.write_text(f"{line}\n")
+            assert lint.check_topo_imports(bad), line
+
+    def test_accepts_topo_slot_use_in_models(self, tmp_path):
+        # The sanctioned channel: read the hooks.topo slot behind a guard.
+        lint = _load_lint_module()
+        ok = tmp_path / "model.py"
+        ok.write_text("from repro.obs import hooks as obs_hooks\n"
+                      "topo = obs_hooks.topo\n"
+                      "if topo is not None:\n"
+                      "    topo.count_access(0, 0, 0, 'read', 0)\n")
+        assert lint.check_topo_imports(ok) == []
+
 
 class TestMetricsSchemaCheck:
     def test_current_contract_holds(self):

@@ -15,6 +15,11 @@ costs nothing when disabled.  Two rules enforce it:
    pattern: hot code reads the ``repro.obs.hooks.topo`` slot behind an
    ``is not None`` guard.  Nothing under ``cpu/``, ``mem/``, ``engine/``,
    ``memsys/`` or ``network/`` may import ``repro.obs.topo`` itself.
+4. The checkpoint subsystem (``repro.ckpt``) is orchestration, not
+   modelling: nothing under ``cpu/``, ``mem/`` or ``engine/`` may import
+   it.  The models' only checkpoint hook is the ambient stop line in
+   ``repro.common.gate`` (one slot read per trace item), plus their own
+   ``ckpt_state``/``ckpt_restore`` methods, which depend on nothing.
 
 This script greps for violations; ``tests/test_obs_tooling.py`` runs it
 in the suite.  Exit status 0 when clean, 1 with one line per violation
@@ -68,6 +73,13 @@ _TOPO_IMPORT = re.compile(
     r"^\s*(from\s+repro\.obs\s+import\b.*\btopo\b"
     r"|import\s+repro\.obs\.topo\b"
     r"|from\s+repro\.obs\.topo\s+import\b)")
+#: Matches any import of the checkpoint subsystem package.  Deliberately
+#: does NOT match ``repro.common.gate`` -- that slot is the sanctioned
+#: hot-path hook.
+_CKPT_IMPORT = re.compile(
+    r"^\s*(from\s+repro\s+import\b.*\bckpt\b"
+    r"|import\s+repro\.ckpt\b"
+    r"|from\s+repro\.ckpt\b)")
 #: How many preceding lines may separate the guard from the call (the call
 #: plus its wrapped arguments must start right under the guard).
 _GUARD_WINDOW = 4
@@ -104,6 +116,15 @@ def check_topo_imports(path: Path) -> List[Tuple[int, str]]:
     return violations
 
 
+def check_ckpt_imports(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, line)`` for every repro.ckpt import."""
+    violations = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        if _CKPT_IMPORT.search(line):
+            violations.append((i + 1, line.strip()))
+    return violations
+
+
 def main(argv=None) -> int:
     root = Path(__file__).resolve().parent.parent
     targets = [root / rel for rel in HOT_PATH_FILES]
@@ -127,16 +148,24 @@ def main(argv=None) -> int:
             failed = True
             print(f"{target.relative_to(root)}:{lineno}: "
                   f"spatial-recorder import in hot path: {line}")
+    for target in dir_files:
+        for lineno, line in check_ckpt_imports(target):
+            failed = True
+            print(f"{target.relative_to(root)}:{lineno}: "
+                  f"repro.ckpt import in hot path: {line}")
     if failed:
         print("observability contract broken: guard every tracer call with "
               "`if <tracer> is not None`, keep repro.obs.metrics out of "
-              "the models, and reach the spatial recorder only through the "
-              "repro.obs.hooks.topo slot (see repro/obs/hooks.py, "
-              "repro/obs/metrics.py, repro/obs/topo.py)")
+              "the models, reach the spatial recorder only through the "
+              "repro.obs.hooks.topo slot, and keep repro.ckpt out of the "
+              "models entirely -- their checkpoint hook is "
+              "repro.common.gate (see repro/obs/hooks.py, "
+              "repro/obs/metrics.py, repro/obs/topo.py, repro/common/gate.py)")
         return 1
     print(f"ok: {len(targets)} hot-path files, all tracer calls guarded; "
           f"{len(dir_files)} model files, no metrics-ledger imports; "
-          f"{len(topo_files)} model files, no spatial-recorder imports")
+          f"{len(topo_files)} model files, no spatial-recorder imports; "
+          f"{len(dir_files)} model files, no repro.ckpt imports")
     return 0
 
 

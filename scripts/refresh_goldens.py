@@ -44,6 +44,16 @@ HOTSPOT_IDS = {
     "hotspot_ocean_hardware": ("ocean", "hardware", 4),
 }
 
+#: Checkpoint snapshots: golden id -> (workload, configuration, n_cpus).
+#: These pin the repro.ckpt capture pipeline -- per-component state
+#: schema, digesting, stop bookkeeping -- by checkpointing one run
+#: halfway through and recording its manifest, stop record and state
+#: digests.  The content-address *key* is deliberately not pinned: it
+#: folds in the package source fingerprint, which changes with any edit.
+CKPT_IDS = {
+    "ckpt_fft_hardware": ("fft", "hardware", 1),
+}
+
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 
@@ -97,6 +107,36 @@ def hotspot_snapshot(golden_id: str) -> dict:
     return build_report(recorder, result).to_dict()
 
 
+def ckpt_snapshot(golden_id: str) -> dict:
+    """Manifest, stop record and state digests of one pinned checkpoint.
+
+    The checkpoint is taken in replay mode at half the run's straight
+    total time -- an arbitrary between-events instant, which is exactly
+    what replay mode must handle.  Every field here is a pure function
+    of the request, so drift means the simulated machine's state at that
+    instant changed.
+    """
+    from repro.ckpt import save
+    from repro.common.config import get_scale
+    from repro.sim.configs import get_config
+    from repro.sim.request import RunRequest
+    from repro.workloads import make_app
+
+    workload_name, config_name, n_cpus = CKPT_IDS[golden_id]
+    scale = get_scale("tiny")
+    workload = make_app(workload_name, scale)
+    request = RunRequest(get_config(config_name), workload, n_cpus, scale)
+    straight = request.execute()
+    checkpoint = save(request, at_ps=straight.total_ps // 2)
+    return {
+        "manifest": checkpoint.manifest,
+        "stop": checkpoint.stop,
+        "injectable": checkpoint.injectable,
+        "digests": checkpoint.digests,
+        "digest": checkpoint.digest,
+    }
+
+
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for exp_id in GOLDEN_IDS:
@@ -114,6 +154,11 @@ def main() -> int:
         data = hotspot_snapshot(golden_id)
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} ({len(data['hot_regions'])} hot regions)")
+    for golden_id in CKPT_IDS:
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        data = ckpt_snapshot(golden_id)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(data['digests'])} component digests)")
     return 0
 
 

@@ -1,0 +1,89 @@
+"""repro.ckpt: full-machine checkpoint/restore, warm starts, bisection.
+
+Every stateful simulator component implements the :class:`Checkpointable`
+protocol -- ``ckpt_state()`` returning a JSON-able view of its complete
+state, ``ckpt_restore(state)`` injecting such a view back (raising when
+the state carries live coroutine machinery it cannot reconstruct).  The
+:class:`~repro.sim.machine.Machine` composes those views into one
+versioned checkpoint; this package adds the machinery around it:
+
+* :mod:`repro.ckpt.checkpoint` -- capture (replay-mode or quiescent),
+  digest verification, restore by replay or by injection;
+* :mod:`repro.ckpt.store` -- the content-addressed on-disk store and
+  :func:`warm_run` (skip initialization from a cached checkpoint);
+* :mod:`repro.ckpt.bisect` -- replay two configurations from a shared
+  checkpoint and binary-search the event stream for the first divergent
+  event;
+* ``python -m repro.ckpt`` -- the ``save`` / ``restore`` / ``info`` /
+  ``bisect`` command line (:mod:`repro.ckpt.cli`).
+
+Hot simulator layers (``cpu/``, ``mem/``, ``engine/``) never import this
+package (the hot-path lint enforces it); their only checkpoint hook is
+the ambient :mod:`repro.common.gate` stop line.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.ckpt.bisect import DivergenceReport, bisect_divergence
+from repro.ckpt.checkpoint import (
+    MODE_QUIESCE,
+    MODE_REPLAY,
+    SCHEMA_VERSION,
+    Checkpoint,
+    checkpoint_key,
+    injection_blockers,
+    restore,
+    resume,
+    save,
+)
+from repro.ckpt.store import (
+    CKPT_DIR_ENV,
+    CheckpointStore,
+    default_ckpt_dir,
+    load_file,
+    warm_run,
+)
+from repro.common.errors import CheckpointError
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """The per-component checkpoint contract.
+
+    ``ckpt_state`` must return plain JSON-able data (dicts, lists,
+    strings, numbers, booleans) describing the component's *complete*
+    mutable state; ``ckpt_restore`` must either reproduce that state
+    exactly on a freshly constructed component or raise -- never
+    silently restore a subset.  Live events may be captured as fired/
+    pending markers for digesting, but only states free of them are
+    injectable.  ``scripts/check_ckpt_coverage.py`` lints that every
+    stateful simulator class implements this protocol.
+    """
+
+    def ckpt_state(self) -> dict: ...
+
+    def ckpt_restore(self, state: dict) -> None: ...
+
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "Checkpointable",
+    "CKPT_DIR_ENV",
+    "DivergenceReport",
+    "MODE_QUIESCE",
+    "MODE_REPLAY",
+    "SCHEMA_VERSION",
+    "bisect_divergence",
+    "checkpoint_key",
+    "default_ckpt_dir",
+    "injection_blockers",
+    "load_file",
+    "restore",
+    "resume",
+    "save",
+    "warm_run",
+]

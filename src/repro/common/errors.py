@@ -33,3 +33,7 @@ class WorkloadError(ReproError):
 
 class AttributionError(ReproError):
     """Differential error attribution was asked for runs it cannot compare."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be captured, verified, or restored."""

@@ -1,0 +1,74 @@
+"""The checkpoint gate: an ambient stop-line for quiescent state capture.
+
+``repro.ckpt`` captures machine state in two modes.  *Replay-mode*
+checkpoints pause the engine loop between events (``Engine.run(max_ps=...)``)
+and need no cooperation from the cores.  *Quiescent* checkpoints -- the ones
+whose state can be injected into a fresh machine for warm starts -- must
+instead stop every core at a trace-item boundary and let the memory system
+drain completely.  The :class:`CheckpointGate` is how cores cooperate:
+``repro.ckpt`` installs a gate at a target time, each core checks the
+ambient slot once per trace item (a single attribute read and ``None`` test
+when disabled, mirroring ``obs_hooks.active``), and holds on an event when
+its clock passes the stop line.  Once every live core is held and the event
+calendar drains, the machine is quiescent and capture can proceed.
+
+This module lives in ``repro.common`` -- not ``repro.ckpt`` -- so that hot
+simulator layers (``cpu/``) can import it without violating the hot-path
+lint's ban on ``repro.ckpt`` imports.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class CheckpointGate:
+    """A stop line at an absolute simulated time.
+
+    Cores call :meth:`hold` when their local clock reaches :attr:`at_ps`;
+    the returned event fires when the checkpointing machinery releases the
+    gate (after capture, to resume in-process) or never (when the capture
+    ends the run).
+    """
+
+    def __init__(self, at_ps: int):
+        if at_ps < 0:
+            raise ValueError(f"gate time must be >= 0, got {at_ps}")
+        self.at_ps = at_ps
+        #: node -> hold event, filled in as cores arrive.
+        self.held: Dict[int, object] = {}
+
+    def hold(self, node: int, env) -> object:
+        """Register *node* as stopped at the gate; returns the hold event."""
+        event = env.event()
+        self.held[node] = event
+        return event
+
+    def release(self) -> None:
+        """Fire every hold event so the stopped cores resume."""
+        held, self.held = dict(self.held), {}
+        for event in held.values():
+            event.succeed(None)
+
+
+#: The ambient gate.  ``None`` (the common case) means no checkpoint stop is
+#: requested; cores test this once per trace item.
+active: Optional[CheckpointGate] = None
+
+
+def install(gate: Optional[CheckpointGate]) -> None:
+    global active
+    active = gate
+
+
+@contextmanager
+def holding(gate: CheckpointGate):
+    """Install *gate* for the duration of a ``with`` block."""
+    global active
+    previous = active
+    active = gate
+    try:
+        yield gate
+    finally:
+        active = previous

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import gate as ckpt_gate
 from repro.common.errors import SimulationError
 from repro.common.stats import CounterSet, StatsRegistry
 from repro.obs import hooks as obs_hooks
@@ -48,6 +49,10 @@ class CpuCore:
         self._start_ps = 0
         #: (phase name, begin?, absolute ps) marks, consumed by RunResult.
         self.phase_marks: List[Tuple[str, bool, int]] = []
+        #: Index of the next unexecuted trace item (checkpoint cursor).
+        self.trace_pos = 0
+        #: True once the trace (and its final write drain) completed.
+        self.done = False
 
     # -- time bookkeeping ----------------------------------------------------
 
@@ -75,9 +80,21 @@ class CpuCore:
 
     # -- trace execution -------------------------------------------------------
 
-    def run_trace(self, trace, sync):
-        """The DES process body: execute every trace item in order."""
-        for item in trace:
+    def run_trace(self, trace, sync, start: int = 0):
+        """The DES process body: execute every trace item in order.
+
+        *start* resumes mid-trace (checkpoint injection); the caller must
+        have restored clocks and memory state first.  Between items the
+        core checks the ambient checkpoint gate -- a single module-slot
+        read and ``None`` test when (as almost always) no gate is active --
+        and parks on a hold event once its local clock passes the stop
+        line, leaving ``trace_pos`` at the first unexecuted item.
+        """
+        self.trace_pos = start
+        for item in (trace[start:] if start else trace):
+            gate = ckpt_gate.active
+            if gate is not None and self.time_ps() >= gate.at_ps:
+                yield gate.hold(self.node, self.env)
             kind = type(item)
             if kind is ChunkExec:
                 yield from self._exec_chunk(item)
@@ -119,7 +136,9 @@ class CpuCore:
                                   int(cost * self.cycle_ps), self.node)
             else:
                 raise SimulationError(f"unknown trace item {item!r}")
+            self.trace_pos += 1
         yield from self._drain_writes()
+        self.done = True
         self.stats.set("final_cycles", self.cycles)
         tracer = obs_hooks.active
         if tracer is not None:
@@ -140,6 +159,31 @@ class CpuCore:
             yield self.env.all_of(pending)
             self._catch_up_to_engine()
             wb.reap()
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Local clock, trace cursor, phase marks, and counters."""
+        return {
+            "cycles": float(self.cycles),
+            "start_ps": int(self._start_ps),
+            "trace_pos": int(self.trace_pos),
+            "done": bool(self.done),
+            "phase_marks": [[name, begin, ps]
+                            for name, begin, ps in self.phase_marks],
+            "stats": self.stats.ckpt_state(),
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        # Deliberately not start_at(): that resets the clock; injection must
+        # plant the captured mid-run clock exactly.
+        self.cycles = state["cycles"]
+        self._start_ps = state["start_ps"]
+        self.trace_pos = state["trace_pos"]
+        self.done = state["done"]
+        self.phase_marks = [(name, begin, ps)
+                            for name, begin, ps in state["phase_marks"]]
+        self.stats.ckpt_restore(state["stats"])
 
     # -- hooks ----------------------------------------------------------------
 

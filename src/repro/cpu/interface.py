@@ -25,6 +25,7 @@ from math import ceil
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import MachineScale
+from repro.common.errors import SimulationError
 from repro.common.stats import CounterSet, StatsRegistry
 from repro.cpu.base import CoreParams
 from repro.isa.opcodes import Op
@@ -264,3 +265,69 @@ class CpuMemInterface:
 
     def mshr_outstanding(self) -> int:
         return len(self._mshr)
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self, chunk_ranks: Optional[Dict[int, int]] = None) -> dict:
+        """Caches, TLB, write buffer, MSHR markers, port, and icache.
+
+        The icache is keyed by ``Chunk.uid`` -- a process-lifetime counter
+        whose absolute values differ between the saving and restoring
+        process -- so entries are recorded under the chunk's *trace rank*
+        (first-appearance order across the machine's traces, supplied by
+        the machine as *chunk_ranks*), which is identical for identical
+        runs in any process.
+        """
+        icache = []
+        for uid, code_bytes in self._icache.items():
+            if chunk_ranks is None:
+                raise SimulationError(
+                    f"iface{self.node}: icache is warm but no chunk rank "
+                    "map was supplied (capture must go through the machine)"
+                )
+            icache.append([chunk_ranks[uid], code_bytes])
+        return {
+            "l1d": self.l1d.ckpt_state(),
+            "l2": self.l2.ckpt_state(),
+            "tlb": None if self.tlb is None else self.tlb.ckpt_state(),
+            "write_buffer": self.write_buffer.ckpt_state(),
+            "stats": self.stats.ckpt_state(),
+            "mshr": [[line, bool(event.fired)]
+                     for line, event in self._mshr.items()],
+            "port_busy_until": float(self.port_busy_until),
+            "icache": icache,
+            "icache_bytes": int(self._icache_bytes),
+        }
+
+    def ckpt_restore(self, state: dict,
+                     rank_chunks: Optional[Dict[int, object]] = None) -> None:
+        """Inject; *rank_chunks* maps trace rank -> chunk in this process."""
+        if state["mshr"]:
+            raise SimulationError(
+                f"iface{self.node}: cannot inject with "
+                f"{len(state['mshr'])} transactions in the MSHRs"
+            )
+        if self._mshr:
+            raise SimulationError(
+                f"iface{self.node}: refusing to inject over live MSHRs"
+            )
+        self.l1d.ckpt_restore(state["l1d"])
+        self.l2.ckpt_restore(state["l2"])
+        if (self.tlb is None) != (state["tlb"] is None):
+            raise SimulationError(
+                f"iface{self.node}: TLB modelling mismatch with checkpoint"
+            )
+        if self.tlb is not None:
+            self.tlb.ckpt_restore(state["tlb"])
+        self.write_buffer.ckpt_restore(state["write_buffer"])
+        self.stats.ckpt_restore(state["stats"])
+        self.port_busy_until = state["port_busy_until"]
+        self._icache = OrderedDict()
+        for rank, code_bytes in state["icache"]:
+            if rank_chunks is None or rank not in rank_chunks:
+                raise SimulationError(
+                    f"iface{self.node}: checkpoint icache rank {rank} has "
+                    "no chunk in the restored traces"
+                )
+            self._icache[rank_chunks[rank].uid] = code_bytes
+        self._icache_bytes = state["icache_bytes"]

@@ -31,6 +31,7 @@ instruction.
 
 from __future__ import annotations
 
+from repro.common.errors import SimulationError
 from repro.cpu.core import CpuCore
 from repro.cpu.interface import HIT, L2_HIT, MISS, NOOP, PENDING
 from repro.obs import hooks as obs_hooks
@@ -93,6 +94,27 @@ class WindowCore(CpuCore):
             else:
                 kept.append((event, issue_c))
         self._inflight = kept
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        state = super().ckpt_state()
+        state["miss_ema"] = float(self._miss_ema)
+        state["inflight"] = [[bool(event.fired), float(issue_c)]
+                             for event, issue_c in self._inflight]
+        return state
+
+    def ckpt_restore(self, state: dict) -> None:
+        if state["inflight"]:
+            # Even *fired* slots still feed the miss-latency EMA on the next
+            # reap, so a window core is only injectable with an empty list.
+            raise SimulationError(
+                f"cpu{self.node}: cannot inject with "
+                f"{len(state['inflight'])} miss slots occupied"
+            )
+        super().ckpt_restore(state)
+        self._miss_ema = state["miss_ema"]
+        self._inflight = []
 
     # -- chunk execution -----------------------------------------------------------
 

@@ -149,11 +149,20 @@ class Engine:
         self._drain_dispatch()
         return True
 
-    def run(self, until: Optional[Event] = None, max_ps: Optional[int] = None) -> Any:
-        """Run until *until* fires, the calendar drains, or *max_ps* passes.
+    def run(self, until: Optional[Event] = None, max_ps: Optional[int] = None,
+            max_events: Optional[int] = None) -> Any:
+        """Run until *until* fires, the calendar drains, or a limit is hit.
+
+        ``max_ps`` stops before the first event scheduled past that time;
+        ``max_events`` stops after that many further calls to :meth:`step`.
+        Both leave the engine at a clean between-events boundary (pending
+        same-time dispatches drained), so a paused run can be resumed by
+        calling :meth:`run` again -- that is what ``repro.ckpt`` relies on.
 
         Returns ``until.value`` when *until* is given and fired.
         """
+        stop_after = (None if max_events is None
+                      else self.events_processed + max_events)
         self._drain_dispatch()
         while True:
             if until is not None and until.fired:
@@ -161,6 +170,8 @@ class Engine:
                     raise until._failed
                 return until.value
             if max_ps is not None and self._heap and self._heap[0][0] > max_ps:
+                return None
+            if stop_after is not None and self.events_processed >= stop_after:
                 return None
             if not self.step():
                 break
@@ -170,3 +181,41 @@ class Engine:
                 "(deadlock: a process is blocked forever)"
             )
         return None if until is None else until.value
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Clock, counters, and a structural view of the calendar.
+
+        Heap entries carry the callback's qualified name, not the callback:
+        coroutine frames cannot be serialized, so a non-empty calendar can
+        be *captured* (for digests and inspection) but only an empty one can
+        be restored by injection -- replay-mode restore reconstructs live
+        frames by re-running to the stop point instead.
+        """
+        return {
+            "now": int(self.now),
+            "seq": int(self._seq),
+            "events_processed": int(self.events_processed),
+            "pending_dispatch": len(self._pending_dispatch),
+            "heap": [[int(when), int(seq),
+                      getattr(fn, "__qualname__", "callback")]
+                     for when, seq, fn, _arg in self._heap],
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        """Inject clock and counters into a fresh (empty-calendar) engine."""
+        if state["heap"] or state["pending_dispatch"]:
+            raise SimulationError(
+                "cannot inject engine state with live events: "
+                f"{len(state['heap'])} heap entries, "
+                f"{state['pending_dispatch']} pending dispatches "
+                "(only quiescent checkpoints are injectable; use replay)"
+            )
+        if self._heap or self._pending_dispatch:
+            raise SimulationError(
+                "refusing to inject into an engine with scheduled events"
+            )
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self.events_processed = state["events_processed"]

@@ -100,6 +100,40 @@ class Resource:
         self.release()
         done.succeed(None)
 
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Occupancy, queue shape, and accumulated statistics.
+
+        Queued grants are captured as ``(fired, enqueued_at)`` markers --
+        the waiting coroutine frames themselves are not serializable, so a
+        busy resource documents its shape for digests but only an idle one
+        (``in_use == 0``, empty queue) can be injected on restore.
+        """
+        return {
+            "in_use": int(self.in_use),
+            "requests": int(self.requests),
+            "queue": [[bool(event.fired), int(enqueued_at)]
+                      for event, enqueued_at in self._queue],
+            "busy_since": (None if self._busy_since is None
+                           else int(self._busy_since)),
+            "stats": self.stats.ckpt_state(),
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        if state["in_use"] or state["queue"] or state["busy_since"] is not None:
+            raise SimulationError(
+                f"resource {self.name}: cannot inject a busy resource "
+                f"({state['in_use']} in use, {len(state['queue'])} queued)"
+            )
+        if self.in_use or self._queue:
+            raise SimulationError(
+                f"resource {self.name}: refusing to inject into a busy resource"
+            )
+        self.requests = state["requests"]
+        self._busy_since = None
+        self.stats.ckpt_restore(state["stats"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Resource({self.name}, {self.in_use}/{self.capacity} busy, "

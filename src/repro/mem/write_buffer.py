@@ -54,3 +54,30 @@ class WriteBuffer:
     def pending_events(self):
         """All in-flight events (drained at barriers)."""
         return list(self._inflight)
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Entry fired-flags (FIFO order) plus statistics.
+
+        Already-fired entries awaiting a :meth:`reap` are semantically
+        invisible (every consumer reaps before reading occupancy), so they
+        are captured for digest fidelity but dropped on injection.
+        """
+        return {
+            "pending": [bool(event.fired) for event in self._inflight],
+            "stats": self.stats.ckpt_state(),
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        if not all(state["pending"]):
+            raise ValueError(
+                "write buffer: cannot inject unfired in-flight stores "
+                f"({state['pending'].count(False)} outstanding)"
+            )
+        if any(not event.fired for event in self._inflight):
+            raise ValueError(
+                "write buffer: refusing to inject over outstanding stores"
+            )
+        self._inflight = deque()
+        self.stats.ckpt_restore(state["stats"])

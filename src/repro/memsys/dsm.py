@@ -340,3 +340,24 @@ class DsmMemorySystem:
         return self.magic[home_node(paddr)].directory.peek(
             paddr >> self.line_shift
         )
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Transaction counters, the fabric, and every node's MAGIC."""
+        return {
+            "stats": self.stats.ckpt_state(),
+            "net": self.net.ckpt_state(),
+            "magic": [magic.ckpt_state() for magic in self.magic],
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        if len(state["magic"]) != self.n_nodes:
+            raise ProtocolError(
+                f"checkpoint has {len(state['magic'])} MAGIC nodes, "
+                f"this machine has {self.n_nodes}"
+            )
+        self.stats.ckpt_restore(state["stats"])
+        self.net.ckpt_restore(state["net"])
+        for magic, magic_state in zip(self.magic, state["magic"]):
+            magic.ckpt_restore(magic_state)

@@ -90,3 +90,28 @@ class Network:
     def link_stats(self):
         """Per-link resource stats (contention analysis)."""
         return {link: res.stats for link, res in self._links.items()}
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Aggregate message counters plus every link port's state.
+
+        Links are keyed ``"src->dst"``; iteration order is the topology's
+        link enumeration, identical across machines of the same shape.
+        """
+        return {
+            "stats": self.stats.ckpt_state(),
+            "links": [[f"{src}->{dst}", res.ckpt_state()]
+                      for (src, dst), res in self._links.items()],
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        links = dict(state["links"])
+        if set(links) != {f"{s}->{d}" for (s, d) in self._links}:
+            raise ValueError(
+                f"network: checkpoint has {len(links)} links, "
+                f"this fabric has {len(self._links)} (topology mismatch)"
+            )
+        self.stats.ckpt_restore(state["stats"])
+        for (src, dst), res in self._links.items():
+            res.ckpt_restore(links[f"{src}->{dst}"])

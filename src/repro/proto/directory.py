@@ -103,6 +103,42 @@ class Directory:
             if topo is not None:
                 topo.dir_transition(self.node, line, "to_unowned")
 
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        """Every entry's protocol state; busy handoffs as boolean markers.
+
+        A ``busy`` entry means a transaction is mid-flight at this home;
+        its coroutine cannot be serialized, so busy entries document the
+        shape for digests and block injection.
+        """
+        return {
+            "entries": [
+                [line, {"state": ent.state,
+                        "sharers": sorted(ent.sharers),
+                        "owner": ent.owner,
+                        "busy": ent.busy is not None}]
+                for line, ent in self._entries.items()
+            ],
+            "stats": self.stats.ckpt_state(),
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        busy = [line for line, ent in state["entries"] if ent["busy"]]
+        if busy:
+            raise ProtocolError(
+                f"directory{self.node}: cannot inject with transactions in "
+                f"flight on lines {[hex(line) for line in busy[:4]]}"
+            )
+        self._entries = {}
+        for line, ent_state in state["entries"]:
+            ent = DirEntry()
+            ent.state = ent_state["state"]
+            ent.sharers = set(ent_state["sharers"])
+            ent.owner = ent_state["owner"]
+            self._entries[line] = ent
+        self.stats.ckpt_restore(state["stats"])
+
     def check_invariants(self, line: int) -> None:
         """Raise ProtocolError if the entry is internally inconsistent."""
         ent = self.entry(line)

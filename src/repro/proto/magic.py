@@ -71,3 +71,19 @@ class MagicController:
 
     def queue_depths(self):
         return {"pp": self.pp.queue_length, "dram": self.dram.queue_length}
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def ckpt_state(self) -> dict:
+        return {
+            "stats": self.stats.ckpt_state(),
+            "pp": self.pp.ckpt_state(),
+            "dram": self.dram.ckpt_state(),
+            "directory": self.directory.ckpt_state(),
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        self.stats.ckpt_restore(state["stats"])
+        self.pp.ckpt_restore(state["pp"])
+        self.dram.ckpt_restore(state["dram"])
+        self.directory.ckpt_restore(state["directory"])

@@ -20,6 +20,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.stats import StatsRegistry
 from repro.cpu import CpuMemInterface, make_core
 from repro.engine import Engine
+from repro.isa.trace import ChunkExec
 from repro.mem.page_table import PageTable
 from repro.memsys.dsm import DsmMemorySystem
 from repro.obs import hooks as obs_hooks
@@ -71,9 +72,22 @@ class Machine:
             self.cores.append(core)
         self.sync = SyncDomain(self.env, n_cpus)
         self._ran = False
+        self._workload = None
+        self._traces: Optional[List] = None
+        self._processes: List = []
+        self._done = None
+        self._tracer = None
+        self._topo = None
 
-    def run(self, workload) -> RunResult:
-        """Execute *workload* to completion and collect the result."""
+    # -- lifecycle -------------------------------------------------------
+    #
+    # ``run()`` is begin + advance-to-completion + finish.  The split
+    # exists for ``repro.ckpt``: a checkpoint pauses ``advance`` at a
+    # clean between-events boundary (or a quiescent gate stop), captures
+    # state, and a restored machine continues ``advance`` + ``finish``.
+
+    def begin(self, workload) -> None:
+        """Bind *workload*, build traces, and start every CPU process."""
         if self._ran:
             raise SimulationError("a Machine is single-use; build a new one")
         self._ran = True
@@ -93,6 +107,10 @@ class Machine:
             raise ConfigurationError(
                 f"workload produced {len(traces)} traces for {self.n_cpus} CPUs"
             )
+        self._workload = workload
+        self._traces = traces
+        self._tracer = tracer
+        self._topo = topo
         processes = []
         for core, trace in zip(self.cores, traces):
             core.start_at(self.env.now)
@@ -100,7 +118,38 @@ class Machine:
                 self.env.process(core.run_trace(trace, self.sync),
                                  name=f"cpu{core.node}")
             )
-        self.env.run(until=self.env.all_of(processes))
+        self._processes = processes
+        self._done = self.env.all_of(processes)
+
+    def advance(self, max_ps: Optional[int] = None,
+                max_events: Optional[int] = None) -> bool:
+        """Run the engine; True when the workload has completed."""
+        if self._done is None:
+            raise SimulationError("advance() before begin()")
+        self.env.run(until=self._done, max_ps=max_ps, max_events=max_events)
+        return self._done.fired
+
+    def advance_until_blocked(self) -> bool:
+        """Step until completion or until no event remains.
+
+        Unlike :meth:`advance`, a drained calendar is not a deadlock error
+        here: with a checkpoint gate installed, every core parking at the
+        stop line legitimately empties the calendar.  Returns True when the
+        workload completed anyway (the gate lay beyond the end of the run).
+        """
+        if self._done is None:
+            raise SimulationError("advance_until_blocked() before begin()")
+        env = self.env
+        env._drain_dispatch()
+        while not self._done.fired:
+            if not env.step():
+                break
+        return self._done.fired
+
+    def finish(self) -> RunResult:
+        """Collect the :class:`RunResult` of a completed run."""
+        if self._done is None or not self._done.fired:
+            raise SimulationError("finish() before the workload completed")
         if self.sync.open_barriers():
             raise SimulationError("run finished with CPUs stuck at a barrier")
         spans = merge_phase_marks([core.phase_marks for core in self.cores])
@@ -109,7 +158,7 @@ class Machine:
         )
         result = RunResult(
             config_name=self.config.name,
-            workload_name=workload.name,
+            workload_name=self._workload.name,
             n_cpus=self.n_cpus,
             scale_name=self.scale.name,
             total_ps=self.env.now,
@@ -117,11 +166,142 @@ class Machine:
             instructions=instructions,
             stats=self.registry.flat(),
         )
-        if tracer is not None:
-            result.breakdown = build_breakdown(tracer)
-        if topo is not None:
-            topo.finish(self.env.now)
+        if self._tracer is not None:
+            result.breakdown = build_breakdown(self._tracer)
+        if self._topo is not None:
+            self._topo.finish(self.env.now)
         return result
+
+    def run(self, workload) -> RunResult:
+        """Execute *workload* to completion and collect the result."""
+        self.begin(workload)
+        self.advance()
+        return self.finish()
+
+    # -- checkpoint contract ---------------------------------------------
+
+    def _chunk_ranks(self) -> Optional[dict]:
+        """uid -> first-appearance rank over this machine's traces.
+
+        ``Chunk.uid`` is a process-lifetime counter, so absolute uids
+        differ between the saving and restoring process; ranks (the order
+        chunks first appear walking the traces) are identical for
+        identical runs and serve as the portable icache key.
+        """
+        if self._traces is None:
+            return None
+        ranks: dict = {}
+        for trace in self._traces:
+            for item in trace:
+                if type(item) is ChunkExec:
+                    uid = item.chunk.uid
+                    if uid not in ranks:
+                        ranks[uid] = len(ranks)
+        return ranks
+
+    def _rank_chunks(self) -> Optional[dict]:
+        """rank -> chunk object, the restoring-side inverse."""
+        if self._traces is None:
+            return None
+        chunks: dict = {}
+        seen: set = set()
+        for trace in self._traces:
+            for item in trace:
+                if type(item) is ChunkExec:
+                    uid = item.chunk.uid
+                    if uid not in seen:
+                        seen.add(uid)
+                        chunks[len(chunks)] = item.chunk
+        return chunks
+
+    def ckpt_state(self) -> dict:
+        """Complete machine state, composed from every component's view."""
+        ranks = self._chunk_ranks()
+        return {
+            "engine": self.env.ckpt_state(),
+            "registry": self.registry.ckpt_state(),
+            "allocator": self.allocator.ckpt_state(),
+            "page_table": self.page_table.ckpt_state(),
+            "memsys": self.memsys.ckpt_state(),
+            "sync": self.sync.ckpt_state(),
+            "ifaces": [iface.ckpt_state(ranks) for iface in self.ifaces],
+            "cores": [core.ckpt_state() for core in self.cores],
+        }
+
+    def ckpt_restore(self, state: dict) -> None:
+        """Inject a quiescent captured state into this (fresh) machine."""
+        if len(state["cores"]) != self.n_cpus:
+            raise ConfigurationError(
+                f"checkpoint has {len(state['cores'])} CPUs, "
+                f"this machine has {self.n_cpus}"
+            )
+        self.env.ckpt_restore(state["engine"])
+        self.registry.ckpt_restore(state["registry"])
+        self.allocator.ckpt_restore(state["allocator"])
+        self.page_table.ckpt_restore(state["page_table"])
+        self.memsys.ckpt_restore(state["memsys"])
+        self.sync.ckpt_restore(state["sync"])
+        rank_chunks = self._rank_chunks()
+        for iface, iface_state in zip(self.ifaces, state["ifaces"]):
+            iface.ckpt_restore(iface_state, rank_chunks)
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.ckpt_restore(core_state)
+
+    def begin_resumed(self, workload, state: dict,
+                      allow_partial_obs: bool = False) -> None:
+        """Rebuild a mid-run machine: inject *state*, respawn unfinished CPUs.
+
+        The counterpart of :meth:`begin` for checkpoint injection; follow
+        with :meth:`advance` and :meth:`finish` as usual.  Observability
+        recorders must normally be inactive (their ring buffers are
+        deliberately not checkpointed, so a resumed traced run would be
+        silently partial); ``allow_partial_obs`` opts into exactly that --
+        spans from the resume point onward only -- which is what the
+        divergence bisector uses to put context around a divergent event.
+        """
+        if self._ran:
+            raise SimulationError("a Machine is single-use; build a new one")
+        if obs_hooks.topo is not None:
+            raise SimulationError(
+                "checkpoint restore cannot run under a topo recorder "
+                "(spatial counters are not part of checkpoint state)"
+            )
+        tracer = obs_hooks.active
+        if tracer is not None and not allow_partial_obs:
+            raise SimulationError(
+                "checkpoint restore cannot run under obs recorders "
+                "(trace ring buffers are not part of checkpoint state); "
+                "pass allow_partial_obs=True to trace the resumed suffix only"
+            )
+        if tracer is not None:
+            tracer.bind_engine(self.env)
+            if tracer.engine_events:
+                self.env.tracer = tracer
+        self._tracer = tracer
+        self._ran = True
+        traces = workload.build(self.n_cpus)
+        if len(traces) != self.n_cpus:
+            raise ConfigurationError(
+                f"workload produced {len(traces)} traces for {self.n_cpus} CPUs"
+            )
+        self._workload = workload
+        self._traces = traces
+        self.ckpt_restore(state)
+        processes = []
+        for core, trace in zip(self.cores, traces):
+            if core.done:
+                continue
+            processes.append(
+                self.env.process(
+                    core.run_trace(trace, self.sync, start=core.trace_pos),
+                    name=f"cpu{core.node}")
+            )
+        if not processes:
+            raise SimulationError(
+                "checkpoint has no unfinished CPUs to resume"
+            )
+        self._processes = processes
+        self._done = self.env.all_of(processes)
 
 
 def run_workload(config: SimulatorConfig, workload, n_cpus: int = 1,

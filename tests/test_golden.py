@@ -4,10 +4,12 @@
 experiments at ``REPRO_SCALE``: ``table1`` (machine geometry), the
 ``tlb_microbench`` calibration quantities, and ``fig2`` (a full
 simulator-vs-hardware comparison), plus one differential-attribution
-waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1) and one
+waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1), one
 spatial-hotspot report (``hotspot_ocean_hardware``: ocean on hardware,
-P=4, under the topo recorder).  Any simulator change that shifts these
-numbers fails here with a field-by-field diff.
+P=4, under the topo recorder), and one mid-run checkpoint
+(``ckpt_fft_hardware``: fft on hardware at half time -- manifest, stop
+record, and per-component state digests).  Any simulator change that
+shifts these numbers fails here with a field-by-field diff.
 
 If the drift is *intentional*, refresh the snapshots with::
 
@@ -122,11 +124,34 @@ class TestGoldenSnapshots:
                 + f"\nIf this change is intentional, refresh with: {REFRESH}",
                 pytrace=False)
 
+    @pytest.mark.slow
+    def test_ckpt_snapshot(self):
+        """The fft-on-hardware checkpoint is pinned end to end: every
+        component's ckpt_state schema and digest must be deterministic."""
+        golden_id = "ckpt_fft_hardware"
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        assert path.exists(), \
+            f"missing snapshot {path}; generate with: {REFRESH}"
+        golden = json.loads(path.read_text())
+        live = refresh_goldens.ckpt_snapshot(golden_id)
+        drift = []
+        for key in sorted(set(golden) | set(live)):
+            if golden.get(key) != live.get(key):
+                drift.append(f"{key}: golden {golden.get(key)!r} != "
+                             f"live {live.get(key)!r}")
+        if drift:
+            pytest.fail(
+                f"{golden_id} drifted from its golden snapshot:\n"
+                + "\n".join(drift)
+                + f"\nIf this change is intentional, refresh with: {REFRESH}",
+                pytrace=False)
+
     def test_snapshot_set_matches_refresh_script(self):
         on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
         assert on_disk == (set(refresh_goldens.GOLDEN_IDS)
                            | set(refresh_goldens.ATTRIBUTION_IDS)
-                           | set(refresh_goldens.HOTSPOT_IDS))
+                           | set(refresh_goldens.HOTSPOT_IDS)
+                           | set(refresh_goldens.CKPT_IDS))
 
 
 class TestDiffReadability:

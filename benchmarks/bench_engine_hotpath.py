@@ -1,0 +1,121 @@
+"""Fast-path benchmark: batched vs. reference execution on the hot loops.
+
+Two measurements, both asserting bit-identical ``RunResult``s:
+
+* **resident hot loop** -- :class:`~repro.workloads.hotloop.HotLoopWorkload`,
+  the steady-state regime (TLB- and L1-resident working set) where every
+  reference is a hit.  Here the batch filter proves and skips nearly
+  every row, and the speedup must clear :data:`MIN_HOT_SPEEDUP` (the
+  acceptance gate: >= 5x on the hot loops).
+* **fig2/table1 application runs** -- the four SPLASH-2 stand-ins on the
+  ``simos-mipsy-150`` (fig2) and ``hardware`` (table1) configurations at
+  repro scale.  These kernels *stream* (prefetch a block, touch it once,
+  move on), so rows are rarely all-hit and the filter mostly falls back;
+  the per-run fallback rate is printed so that cost stays visible.  The
+  gate here is honesty, not speed: fast mode must never be slower than
+  :data:`MAX_APP_SLOWDOWN` of the reference (the filter's probe cost is
+  bounded because a failed window hands the whole leading run of slow
+  rows back to the scalar path).
+
+Committed output lives in ``benchmarks/logs/bench_engine_hotpath.log``.
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_hotpath.py -m slow -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import fastpath
+from repro.common.config import get_scale
+from repro.fastpath.filter import BatchFilter
+from repro.sim.configs import get_config
+from repro.sim.machine import run_workload
+from repro.workloads import make_app
+from repro.workloads.hotloop import HotLoopWorkload
+
+#: The acceptance gate on the resident hot loop.
+MIN_HOT_SPEEDUP = 5.0
+#: Streaming application runs may pay at most this factor for probing.
+MAX_APP_SLOWDOWN = 1.10
+#: fig2 simulates the applications on scaled Mipsy; table1 is the FLASH
+#: hardware configuration itself.
+APP_CONFIGS = ("simos-mipsy-150", "hardware")
+APPS = ("fft", "radix", "lu", "ocean")
+
+
+def _timed(make_workload, config, scale, mode, repeats=2):
+    """Best-of-N wall time for one run; returns (seconds, result, filter)."""
+    best, result, filt = None, None, None
+    for _ in range(repeats):
+        workload = make_workload()
+        if mode == "fast":
+            f = BatchFilter()
+            start = time.perf_counter()
+            with fastpath.enabled(f):
+                r = run_workload(config, workload, 1, scale)
+            elapsed = time.perf_counter() - start
+        else:
+            f = None
+            start = time.perf_counter()
+            with fastpath.disabled():
+                r = run_workload(config, workload, 1, scale)
+            elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, result, filt = elapsed, r, f
+    return best, result, filt
+
+
+@pytest.mark.slow
+def test_hot_loop_speedup():
+    scale = get_scale("repro")
+    config = get_config("simos-mipsy-150")
+    make = lambda: HotLoopWorkload(scale)
+    t_ref, r_ref, _ = _timed(make, config, scale, "ref")
+    t_fast, r_fast, filt = _timed(make, config, scale, "fast")
+    speedup = t_ref / t_fast
+    print()
+    print(f"hotloop@repro reference: {t_ref * 1e3:7.1f} ms")
+    print(f"hotloop@repro batched:   {t_fast * 1e3:7.1f} ms  "
+          f"({speedup:.2f}x)")
+    print(f"  {filt.summary()}")
+    assert r_ref.to_dict() == r_fast.to_dict(), (
+        "batched hot-loop run diverged from the reference"
+    )
+    assert speedup >= MIN_HOT_SPEEDUP, (
+        f"hot-loop speedup {speedup:.2f}x is below the "
+        f"{MIN_HOT_SPEEDUP}x acceptance gate"
+    )
+
+
+@pytest.mark.slow
+def test_application_runs_honest():
+    scale = get_scale("repro")
+    print()
+    worst = 0.0
+    for config_name in APP_CONFIGS:
+        config = get_config(config_name)
+        for app in APPS:
+            make = lambda: make_app(app, scale)
+            t_ref, r_ref, _ = _timed(make, config, scale, "ref")
+            t_fast, r_fast, filt = _timed(make, config, scale, "fast")
+            ratio = t_ref / t_fast
+            worst = max(worst, t_fast / t_ref)
+            print(f"{app:5s} @ {config_name:15s} "
+                  f"ref {t_ref * 1e3:7.1f} ms  fast {t_fast * 1e3:7.1f} ms "
+                  f"({ratio:4.2f}x, fallback {filt.fallback_rate():6.1%})")
+            assert r_ref.to_dict() == r_fast.to_dict(), (
+                f"{app}@{config_name}: batched run diverged from reference"
+            )
+    assert worst <= MAX_APP_SLOWDOWN, (
+        f"streaming runs pay {worst:.2f}x with the fast path on, "
+        f"budget is {MAX_APP_SLOWDOWN}x"
+    )
+
+
+if __name__ == "__main__":
+    test_hot_loop_speedup()
+    test_application_runs_honest()

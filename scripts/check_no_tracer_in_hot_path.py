@@ -20,6 +20,12 @@ costs nothing when disabled.  Two rules enforce it:
    it.  The models' only checkpoint hook is the ambient stop line in
    ``repro.common.gate`` (one slot read per trace item), plus their own
    ``ckpt_state``/``ckpt_restore`` methods, which depend on nothing.
+5. The batch fast path (``repro.fastpath``) follows the same shape: it
+   is an accelerator *over* the models, activated through the
+   ``repro.common.batch`` slot, and must stay importable-free from
+   model code -- nothing under ``cpu/``, ``mem/``, ``engine/``,
+   ``memsys/`` or ``network/`` may import ``repro.fastpath``, so the
+   reference semantics never depend on the accelerator existing.
 
 This script greps for violations; ``tests/test_obs_tooling.py`` runs it
 in the suite.  Exit status 0 when clean, 1 with one line per violation
@@ -80,6 +86,12 @@ _CKPT_IMPORT = re.compile(
     r"^\s*(from\s+repro\s+import\b.*\bckpt\b"
     r"|import\s+repro\.ckpt\b"
     r"|from\s+repro\.ckpt\b)")
+#: Matches any import of the batch fast path.  Deliberately does NOT
+#: match ``repro.common.batch`` -- that slot is the sanctioned hook.
+_FASTPATH_IMPORT = re.compile(
+    r"^\s*(from\s+repro\s+import\b.*\bfastpath\b"
+    r"|import\s+repro\.fastpath\b"
+    r"|from\s+repro\.fastpath\b)")
 #: How many preceding lines may separate the guard from the call (the call
 #: plus its wrapped arguments must start right under the guard).
 _GUARD_WINDOW = 4
@@ -125,6 +137,15 @@ def check_ckpt_imports(path: Path) -> List[Tuple[int, str]]:
     return violations
 
 
+def check_fastpath_imports(path: Path) -> List[Tuple[int, str]]:
+    """Return ``(line_number, line)`` for every repro.fastpath import."""
+    violations = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        if _FASTPATH_IMPORT.search(line):
+            violations.append((i + 1, line.strip()))
+    return violations
+
+
 def main(argv=None) -> int:
     root = Path(__file__).resolve().parent.parent
     targets = [root / rel for rel in HOT_PATH_FILES]
@@ -153,19 +174,27 @@ def main(argv=None) -> int:
             failed = True
             print(f"{target.relative_to(root)}:{lineno}: "
                   f"repro.ckpt import in hot path: {line}")
+    for target in topo_files:
+        for lineno, line in check_fastpath_imports(target):
+            failed = True
+            print(f"{target.relative_to(root)}:{lineno}: "
+                  f"repro.fastpath import in hot path: {line}")
     if failed:
         print("observability contract broken: guard every tracer call with "
               "`if <tracer> is not None`, keep repro.obs.metrics out of "
               "the models, reach the spatial recorder only through the "
-              "repro.obs.hooks.topo slot, and keep repro.ckpt out of the "
+              "repro.obs.hooks.topo slot, keep repro.ckpt out of the "
               "models entirely -- their checkpoint hook is "
-              "repro.common.gate (see repro/obs/hooks.py, "
-              "repro/obs/metrics.py, repro/obs/topo.py, repro/common/gate.py)")
+              "repro.common.gate -- and keep repro.fastpath out too: its "
+              "hook is the repro.common.batch slot (see repro/obs/hooks.py, "
+              "repro/obs/metrics.py, repro/obs/topo.py, repro/common/gate.py, "
+              "repro/common/batch.py)")
         return 1
     print(f"ok: {len(targets)} hot-path files, all tracer calls guarded; "
           f"{len(dir_files)} model files, no metrics-ledger imports; "
           f"{len(topo_files)} model files, no spatial-recorder imports; "
-          f"{len(dir_files)} model files, no repro.ckpt imports")
+          f"{len(dir_files)} model files, no repro.ckpt imports; "
+          f"{len(topo_files)} model files, no repro.fastpath imports")
     return 0
 
 

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 matrix: the full test suite under both execution paths.
+#
+# The fast path's contract is bit-identical RunResults, so every tier-1
+# test must pass with REPRO_FASTPATH=0 (the per-event reference path)
+# and with REPRO_FASTPATH=1 (batched all-hit execution ambient in every
+# process, farm workers included).  CI should run this instead of a
+# single bare pytest; locally it is the pre-merge check for any change
+# touching repro.fastpath, repro.common.batch, or the model hot loops.
+#
+# Usage: scripts/run_tier1_matrix.sh [extra pytest args...]
+
+set -eu
+cd "$(dirname "$0")/.."
+
+for mode in 0 1; do
+    echo "=== tier-1 with REPRO_FASTPATH=$mode ==="
+    REPRO_FASTPATH=$mode PYTHONPATH=src python -m pytest -x -q "$@"
+done
+echo "=== tier-1 matrix: both modes passed ==="

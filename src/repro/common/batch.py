@@ -1,0 +1,65 @@
+"""The batch fast-path slot: an ambient hook for vectorized chunk execution.
+
+``repro.fastpath`` proves, with numpy over whole windows of a chunk's
+address rows, that the scalar reference path would execute those rows
+without touching the engine calendar, the memory system, or the write
+buffer -- and then commits their side effects wholesale.  The processor
+models opt in by reading this module's ``active`` slot: a single module
+attribute load and ``None`` test per chunk when (as in the default
+configuration) no filter is installed, mirroring ``repro.obs.hooks.active``
+and ``repro.common.gate.active``.
+
+This module lives in ``repro.common`` -- not ``repro.fastpath`` -- so that
+hot simulator layers (``cpu/``, ``engine/``) can import it without
+violating the hot-path lint's ban on ``repro.fastpath`` imports.  The slot
+holds any object with the filter protocol::
+
+    consume(iface, chunk_exec, start) -> (n_fast, n_scalar)
+
+where ``n_fast`` leading rows (from *start*) were proven all-hit and had
+their side effects committed, and the following ``n_scalar`` rows must run
+through the scalar reference path before the filter is consulted again.
+
+``frozen`` records that an explicit decision (filter installed *or*
+explicitly none) has been made for this process, so environment-variable
+resolution (``repro.fastpath.ensure_ambient``) runs at most once and never
+overrides a caller's ``forcing`` block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+#: The ambient batch filter.  ``None`` (the common case) means every chunk
+#: row runs through the scalar reference path.
+active: Optional[object] = None
+
+#: True once ``install``/``forcing`` made an explicit on-or-off decision.
+frozen: bool = False
+
+
+def install(filt: Optional[object]) -> None:
+    """Install *filt* (or explicitly none) as this process's decision."""
+    global active, frozen
+    active = filt
+    frozen = True
+
+
+def reset() -> None:
+    """Forget any decision (tests and CLI re-entry)."""
+    global active, frozen
+    active = None
+    frozen = False
+
+
+@contextmanager
+def forcing(filt: Optional[object]):
+    """Force the slot to *filt* for the duration of a ``with`` block."""
+    global active, frozen
+    previous = (active, frozen)
+    active, frozen = filt, True
+    try:
+        yield filt
+    finally:
+        active, frozen = previous

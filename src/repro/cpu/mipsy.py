@@ -71,7 +71,10 @@ class MipsyCore(CpuCore):
         cycle_ps = self.cycle_ps
         start_ps = self._start_ps
 
-        for row in ce.addrs.tolist():
+        def exec_row(row):
+            # The scalar reference path for one repetition.  The batch fast
+            # path (CpuCore._exec_rows) only ever skips rows it proves would
+            # run the all-hit fall-through of this exact code.
             base = self.cycles
             stall = 0.0
             for j in range(n_mem):
@@ -151,6 +154,8 @@ class MipsyCore(CpuCore):
                     issue_miss(payload, kind)
                     self.stats.add("prefetches_issued")
             self.cycles = base + per_rep + stall
+
+        yield from self._exec_rows(ce, per_rep, exec_row)
         if tracer is not None:
             tracer.record(start_ps + int(chunk_start_cycles * cycle_ps),
                           obs_hooks.CPU, f"chunk:{chunk.name}",

@@ -1,0 +1,89 @@
+"""repro.fastpath: the batched fast-path execution engine.
+
+Activation surface around :mod:`repro.fastpath.filter`:
+
+* ``REPRO_FASTPATH=1`` (environment) turns the fast path on for any entry
+  point -- :func:`ensure_ambient` resolves the variable once per process
+  from ``Machine.begin``, so plain pytest runs, farm workers, and scripts
+  all honour it;
+* ``python -m repro.harness --fastpath / --no-fastpath`` decides
+  explicitly (and exports the decision to worker processes via the same
+  variable);
+* :func:`enabled` / :func:`disabled` are context managers for tests and
+  benchmarks that must pin one mode regardless of the environment.
+
+The contract, enforced by ``tests/test_fastpath_equiv.py``, is that every
+:class:`~repro.sim.results.RunResult` is bit-identical with the fast path
+on or off: cycle counts, stats, goldens, and checkpoints never change --
+only wall-clock time does.  Result-cache keys therefore deliberately do
+*not* fold the mode in.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.common import batch as batch_hooks
+from repro.fastpath.filter import BatchFilter, DEFAULT_WINDOW, \
+    last_occurrence_order
+
+#: Environment variable consulted (once per process) by ensure_ambient.
+ENV = "REPRO_FASTPATH"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_default_filter: Optional[BatchFilter] = None
+
+
+def enabled_from_env() -> bool:
+    """True when ``REPRO_FASTPATH`` requests the fast path."""
+    return os.environ.get(ENV, "").strip().lower() in _TRUTHY
+
+
+def default_filter() -> BatchFilter:
+    """The per-process shared filter used for environment activation."""
+    global _default_filter
+    if _default_filter is None:
+        _default_filter = BatchFilter()
+    return _default_filter
+
+
+def ensure_ambient() -> Optional[BatchFilter]:
+    """Resolve ``REPRO_FASTPATH`` into the ambient slot, once per process.
+
+    A no-op when a decision is already frozen (an earlier call, or an
+    ``enabled``/``disabled`` block, or an explicit CLI choice), so callers
+    can invoke it unconditionally from hot setup paths.
+    """
+    if not batch_hooks.frozen:
+        batch_hooks.install(default_filter() if enabled_from_env() else None)
+    return batch_hooks.active
+
+
+@contextmanager
+def enabled(filt: Optional[BatchFilter] = None):
+    """Run the block with the fast path on (a fresh filter by default)."""
+    with batch_hooks.forcing(filt if filt is not None else BatchFilter()) as f:
+        yield f
+
+
+@contextmanager
+def disabled():
+    """Run the block on the scalar reference path, whatever the env says."""
+    with batch_hooks.forcing(None):
+        yield
+
+
+__all__ = [
+    "BatchFilter",
+    "DEFAULT_WINDOW",
+    "ENV",
+    "default_filter",
+    "disabled",
+    "enabled",
+    "enabled_from_env",
+    "ensure_ambient",
+    "last_occurrence_order",
+]

@@ -1,0 +1,232 @@
+"""The batch filter: vectorized all-hit proofs over chunk address windows.
+
+The scalar reference path (``MipsyCore._exec_chunk`` /
+``WindowCore._exec_chunk``) resolves one memory reference at a time
+through :meth:`CpuMemInterface.classify`.  For the steady-state common
+case -- every reference a TLB hit and an L1 hit -- that per-reference
+Python work is the whole cost of the simulator, yet none of it interacts
+with the event calendar, the memory system, or the write buffer: the row
+just advances the core's local clock by the chunk's steady-state cycles.
+
+:class:`BatchFilter` proves exactly that property for a leading prefix of
+a window of rows, using numpy over the ``ChunkExec`` address matrix, and
+commits the prefix's only side effects (LRU recency in the TLB and L1,
+and the L1 hit counter) in one call each.  A row is *fast* iff every one
+of its memory slots satisfies, against the window's initial state:
+
+* the virtual page is resident in the TLB (when a TLB is modelled) --
+  so the scalar path would neither count a miss nor insert/evict;
+* the page is already mapped in the page table -- so ``translate`` is
+  side-effect free (no first-touch allocation, relevant for Solo runs
+  with no TLB);
+* the slot is a CACHEOP (classified NOOP before any cache access), or
+  its L1 line is resident and -- for stores -- in state M (a store to a
+  SHARED line escalates to L2/MSHR/upgrade logic and must fall back).
+
+Hits never change TLB, page-table, or cache *membership* (only LRU
+recency), so a prefix proven against the window's initial state is
+exactly the prefix the sequential scalar path would classify all-hit.
+The LRU commit applies one move-to-back per *unique* page/line in
+last-access order, which yields the identical final recency order to the
+scalar per-access moves (``last_occurrence_order``).
+
+The filter auto-disables -- returning the whole remainder of the chunk to
+the scalar path -- whenever an obs tracer, topo recorder, or checkpoint
+gate is ambient, so hook-visible behaviour (per-event spans, spatial
+counts, quiesce stops) is always produced by the unmodified reference
+code.
+
+The filter's own counters live in a private :class:`StatsRegistry`,
+deliberately *not* the machine's: ``RunResult.stats`` must be
+bit-identical with and without the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common import gate as ckpt_gate
+from repro.common.stats import StatsRegistry
+from repro.mem.cache import MODIFIED
+from repro.obs import hooks as obs_hooks
+
+#: Rows examined per ``consume`` call.  Large enough to amortise the numpy
+#: fixed costs, small enough that miss-dense phases re-probe state often.
+DEFAULT_WINDOW = 256
+
+
+def last_occurrence_order(values: np.ndarray) -> List[int]:
+    """Unique *values* ordered by their last occurrence in the stream.
+
+    Applying an LRU move-to-back once per returned value, in order, yields
+    exactly the recency state of applying it per access in stream order:
+    touched entries end up at the MRU end ordered by last access, and
+    untouched entries keep their relative order, in both procedures.
+    """
+    # dict.fromkeys keeps first-seen order; walking the stream backwards,
+    # first-seen is last-occurrence, so reversing the keys gives the
+    # last-occurrence order without any sort.
+    latest_first = dict.fromkeys(reversed(values.tolist()))
+    return list(latest_first)[::-1]
+
+
+class BatchFilter:
+    """Proves and commits all-hit row prefixes; see the module docstring."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 registry: StatsRegistry = None):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.registry = registry if registry is not None else StatsRegistry()
+        self.stats = self.registry.counter_set("fastpath")
+
+    # -- the one hot entry point ----------------------------------------
+
+    def consume(self, iface, ce, start: int) -> Tuple[int, int]:
+        """Examine a window of *ce*'s rows beginning at *start*.
+
+        Returns ``(n_fast, n_scalar)``: the leading ``n_fast`` rows were
+        proven all-hit and their TLB/L1 side effects are already
+        committed (the core only advances its clock); the following
+        ``n_scalar`` rows must run through the scalar reference path.
+        ``n_fast + n_scalar >= 1`` whenever rows remain, so the caller's
+        cursor always advances.
+        """
+        stats = self.stats
+        if (obs_hooks.active is not None or obs_hooks.topo is not None
+                or ckpt_gate.active is not None):
+            # A hook is watching: the reference path produces the spans /
+            # spatial counts / gate stops; hand it the whole remainder.
+            stats.add("hook_disabled_windows")
+            return 0, ce.reps - start
+
+        # -- classification ----------------------------------------
+        chunk = ce.chunk
+        n_mem = chunk.n_mem
+        stop = min(start + self.window, ce.reps)
+        n_rows = stop - start
+        flat = ce.addrs[start:stop].reshape(-1)
+
+        page_shift, l1_shift, frames, tlb_map, l1_state = iface.batch_view()
+        vpn = flat >> page_shift
+        unique_vpn, vpn_inverse = np.unique(vpn, return_inverse=True)
+        vpn_inverse = vpn_inverse.reshape(-1)
+        n_unique = unique_vpn.shape[0]
+        pfn_of = np.zeros(n_unique, dtype=np.int64)
+        page_ok = np.zeros(n_unique, dtype=bool)
+        frame = frames.get
+        if tlb_map is None:
+            for k, page in enumerate(unique_vpn.tolist()):
+                pfn = frame(page)
+                if pfn is not None:
+                    page_ok[k] = True
+                    pfn_of[k] = pfn
+        else:
+            for k, page in enumerate(unique_vpn.tolist()):
+                pfn = frame(page)
+                if pfn is not None and page in tlb_map:
+                    page_ok[k] = True
+                    pfn_of[k] = pfn
+
+        offset_mask = (1 << page_shift) - 1
+        paddr = (pfn_of[vpn_inverse] << page_shift) | (flat & offset_mask)
+        line = paddr >> l1_shift
+        # The L1 holds at most a few hundred lines; probing the window via
+        # searchsorted over the resident set beats np.unique over the
+        # window (no O(window log window) sort per call).
+        if l1_state:
+            keys = np.fromiter(l1_state.keys(), dtype=np.int64,
+                               count=len(l1_state))
+            vals = np.fromiter(
+                (2 if s == MODIFIED else 1 for s in l1_state.values()),
+                dtype=np.int8, count=len(l1_state))
+            order = np.argsort(keys)
+            keys = keys[order]
+            vals = vals[order]
+            pos = np.searchsorted(keys, line)
+            pos[pos == keys.shape[0]] = 0
+            state = np.where(keys[pos] == line, vals[pos], 0)
+        else:
+            keys = pos = None
+            state = np.zeros(line.shape[0], dtype=np.int8)
+
+        cacheop = np.tile(chunk.mem_cacheop_mask, n_rows)
+        store = np.tile(chunk.mem_store_mask, n_rows)
+        slot_fast = (page_ok[vpn_inverse]
+                     & ((state > 0) | cacheop)
+                     & ((state == 2) | ~store))
+        row_fast = slot_fast.reshape(n_rows, n_mem).all(axis=1)
+
+        if bool(row_fast.all()):
+            n_fast = n_rows
+        else:
+            n_fast = int(np.argmin(row_fast))  # index of the first False
+
+        # -- commit ------------------------------------------------
+        #
+        # One LRU move-to-back per unique page/line in last-occurrence
+        # order equals the scalar per-access moves.  The order comes from
+        # scattering slot indices into the (small) unique/resident arrays
+        # -- ``np.put`` documents that the last write wins -- then sorting
+        # only the touched entries.
+        if n_fast:
+            n_slots = n_fast * n_mem
+            if tlb_map is not None:
+                last = np.full(n_unique, -1, dtype=np.int64)
+                np.put(last, vpn_inverse[:n_slots], np.arange(n_slots))
+                touched = np.nonzero(last >= 0)[0]
+                touched = touched[np.argsort(last[touched])]
+                iface.tlb.batch_touch(unique_vpn[touched].tolist())
+            if pos is not None:
+                if chunk.mem_cacheop_mask.any():
+                    hit_pos = pos[:n_slots][~cacheop[:n_slots]]
+                else:
+                    hit_pos = pos[:n_slots]
+                n_hits = hit_pos.shape[0]
+                if n_hits:
+                    last = np.full(keys.shape[0], -1, dtype=np.int64)
+                    np.put(last, hit_pos, np.arange(n_hits))
+                    touched = np.nonzero(last >= 0)[0]
+                    touched = touched[np.argsort(last[touched])]
+                    iface.l1d.batch_touch(keys[touched].tolist(),
+                                          float(n_hits))
+            stats.add("rows_fast", float(n_fast))
+            stats.add("refs_fast", float(n_slots))
+
+        if n_fast == n_rows:
+            n_scalar = 0
+        else:
+            # Hand the scalar path the whole leading run of slow rows, so
+            # miss-dense phases do not re-probe the same state per row.
+            later_fast = np.nonzero(row_fast[n_fast:])[0]
+            n_scalar = (int(later_fast[0]) if later_fast.size
+                        else n_rows - n_fast)
+            stats.add("rows_scalar", float(n_scalar))
+        stats.add("windows")
+        return n_fast, n_scalar
+
+    # -- reporting -------------------------------------------------------
+
+    def fallback_rate(self) -> float:
+        """Fraction of examined rows handed to the scalar path."""
+        flat = self.registry.flat()
+        fast = flat.get("fastpath.rows_fast", 0.0)
+        scalar = flat.get("fastpath.rows_scalar", 0.0)
+        total = fast + scalar
+        return scalar / total if total else 0.0
+
+    def summary(self) -> str:
+        flat = self.registry.flat()
+        fast = int(flat.get("fastpath.rows_fast", 0))
+        scalar = int(flat.get("fastpath.rows_scalar", 0))
+        windows = int(flat.get("fastpath.windows", 0))
+        disabled = int(flat.get("fastpath.hook_disabled_windows", 0))
+        if not (fast or scalar or disabled):
+            return ("fastpath: no rows examined "
+                    "(work ran elsewhere or chunks had no memory slots)")
+        return (f"fastpath: {fast} rows batched, {scalar} scalar "
+                f"({self.fallback_rate():.1%} fallback) over {windows} "
+                f"windows; {disabled} windows hook-disabled")

@@ -53,6 +53,22 @@ class ChunkSchedule:
 
 _N_WARMUP_ITERS = 6
 
+#: Per-timing-key dense latency arrays (index = int(Op)), so the in-order
+#: scheduler gathers costs with one numpy fancy-index instead of a Python
+#: comprehension per instruction.  Values are bit-identical to the mapping
+#: lookups they replace (the same ints, converted to float64 once).
+_LAT_ARRAYS: Dict[str, np.ndarray] = {}
+
+
+def _latency_array(latency: Mapping[int, int], key: str) -> np.ndarray:
+    array = _LAT_ARRAYS.get(key)
+    if array is None:
+        array = np.full(max(latency) + 1, np.nan, dtype=np.float64)
+        for op, lat in latency.items():
+            array[op] = lat
+        _LAT_ARRAYS[key] = array
+    return array
+
 
 def schedule_chunk(chunk: Chunk, timing: CoreTiming) -> ChunkSchedule:
     """Schedule *chunk* under *timing*, caching the result on the chunk."""
@@ -82,7 +98,10 @@ def schedule_inorder(
     if cached is not None:
         return cached  # type: ignore[return-value]
 
-    costs = np.array([latency[int(op)] for op in chunk.ops], dtype=np.float64)
+    costs = _latency_array(latency, key)[chunk.ops]
+    if np.isnan(costs).any():
+        missing = sorted(set(chunk.ops.tolist()) - set(latency))
+        raise KeyError(f"latency table {key!r} lacks opcodes {missing}")
     # A blocking core does not overlap a load's result latency with the next
     # instruction only when the consumer is adjacent; Mipsy simply charges
     # one cycle per instruction, so memory result latency is folded into the

@@ -20,6 +20,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.stats import StatsRegistry
 from repro.cpu import CpuMemInterface, make_core
 from repro.engine import Engine
+from repro.fastpath import ensure_ambient
 from repro.isa.trace import ChunkExec
 from repro.mem.page_table import PageTable
 from repro.memsys.dsm import DsmMemorySystem
@@ -91,6 +92,9 @@ class Machine:
         if self._ran:
             raise SimulationError("a Machine is single-use; build a new one")
         self._ran = True
+        # Resolve REPRO_FASTPATH once per process (no-op when a caller
+        # already decided); results are bit-identical either way.
+        ensure_ambient()
         tracer = obs_hooks.active
         if tracer is not None:
             tracer.bind_engine(self.env)
@@ -261,6 +265,7 @@ class Machine:
         """
         if self._ran:
             raise SimulationError("a Machine is single-use; build a new one")
+        ensure_ambient()
         if obs_hooks.topo is not None:
             raise SimulationError(
                 "checkpoint restore cannot run under a topo recorder "

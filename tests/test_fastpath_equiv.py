@@ -1,0 +1,324 @@
+"""repro.fastpath lock-down net: the bit-identical-results contract.
+
+The batch fast path's whole contract is that a run with it on and a run
+with it off are *indistinguishable* in everything but wall-clock time.
+This module pins that contract:
+
+* the differential suite: every application x the hardware and solo
+  configurations, executed on the reference path and the batched path,
+  compared as full ``RunResult.to_dict()`` payloads (the determinism
+  suite's comparison, pointed at a new axis);
+* the fast path actually *fires* where it should: the resident hot loop
+  batches almost every row (real applications stream and legitimately
+  batch ~none -- their runs above double as fallback-correctness tests);
+* hypothesis properties: random resident access streams through
+  ``batch_touch`` reproduce scalar ``lookup`` state exactly (TLB and
+  cache LRU orders, counters); random load/store address streams through
+  a whole machine are bit-identical fast vs. reference; same-tick engine
+  schedules fire in identical seq-tie order through the batched
+  ``_run_until`` loop;
+* hooks win over speed: an obs tracer, a topo recorder, or an ambient
+  checkpoint gate forces every row down the reference path (zero rows
+  batched) while results stay identical;
+* checkpoints compose: a quiesce save + resume under the fast path, with
+  the stop line landing inside a batch window, reproduces the straight
+  reference run bit for bit.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ckpt, fastpath
+from repro.common import batch as batch_hooks
+from repro.common import gate as ckpt_gate
+from repro.common.config import TINY_SCALE, CacheGeometry, TlbGeometry
+from repro.engine import Engine
+from repro.fastpath.filter import BatchFilter, last_occurrence_order
+from repro.isa.trace import ChunkExec, PhaseMark
+from repro.mem.cache import MODIFIED, SHARED, SetAssocCache
+from repro.mem.tlb import Tlb
+from repro.obs import hooks as obs_hooks
+from repro.obs import topo as obs_topo
+from repro.sim import RunRequest, simos_mipsy
+from repro.sim.configs import get_config
+from repro.sim.machine import run_workload
+from repro.vm.layout import VirtualLayout
+from repro.workloads import make_app
+from repro.workloads.base import Workload, touch_pages
+from repro.workloads.builder import ChunkBuilder
+from repro.workloads.hotloop import HotLoopWorkload
+
+_SETTINGS = settings(max_examples=8, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+_RUN_SETTINGS = settings(max_examples=5, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+APPS = ("fft", "radix", "lu", "ocean")
+CONFIGS = ("hardware", "solo-mipsy-150")
+
+
+def _run_both(make_request):
+    """One request on each path; returns (reference, fast, filter)."""
+    with fastpath.disabled():
+        reference = make_request().execute()
+    filt = BatchFilter()
+    with fastpath.enabled(filt):
+        fast = make_request().execute()
+    return reference, fast, filt
+
+
+def _hotloop(reps=3000, **kwargs):
+    return HotLoopWorkload(TINY_SCALE, reps=reps, n_lines=16, n_loads=8,
+                           n_stores=4, **kwargs)
+
+
+# -- the differential suite ------------------------------------------------
+
+
+@pytest.mark.fastpath
+class TestDifferentialSuite:
+    """Reference vs. batched RunResults across the app x config grid."""
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("app", APPS)
+    def test_app_bit_identical(self, app, config_name):
+        def request():
+            return RunRequest(get_config(config_name),
+                              make_app(app, TINY_SCALE),
+                              n_cpus=2, scale=TINY_SCALE)
+        reference, fast, _ = _run_both(request)
+        assert reference.to_dict() == fast.to_dict()
+
+    def test_multi_clock_lineup(self):
+        """The determinism suite's clock lineup, on the new axis."""
+        for mhz in (150, 225):
+            def request():
+                return RunRequest(simos_mipsy(mhz),
+                                  make_app("fft", TINY_SCALE),
+                                  n_cpus=1, scale=TINY_SCALE)
+            reference, fast, _ = _run_both(request)
+            assert reference.to_dict() == fast.to_dict()
+
+    def test_hot_loop_engages_and_matches(self):
+        """The resident loop must actually batch (and stay identical)."""
+        config = get_config("simos-mipsy-150")
+        with fastpath.disabled():
+            reference = run_workload(config, _hotloop(), 1, TINY_SCALE)
+        filt = BatchFilter()
+        with fastpath.enabled(filt):
+            fast = run_workload(config, _hotloop(), 1, TINY_SCALE)
+        assert reference.to_dict() == fast.to_dict()
+        flat = filt.registry.flat()
+        assert flat["fastpath.rows_fast"] > 0.8 * _hotloop().reps
+        assert filt.fallback_rate() < 0.2
+
+
+# -- hypothesis: structure-level equivalence -------------------------------
+
+
+@pytest.mark.fastpath
+class TestBatchTouchProperties:
+    """batch_touch == a scalar hit loop, for any resident access stream."""
+
+    @given(data=st.data())
+    @_SETTINGS
+    def test_tlb_recency(self, data):
+        resident = data.draw(st.lists(st.integers(0, 30), min_size=1,
+                                      max_size=8, unique=True))
+        stream = data.draw(st.lists(st.sampled_from(resident), min_size=1,
+                                    max_size=50))
+        geometry = TlbGeometry(entries=8, page_bytes=512)
+        scalar, batched = Tlb(geometry), Tlb(geometry)
+        for vpn in resident:
+            scalar.insert(vpn)
+            batched.insert(vpn)
+        for vpn in stream:
+            assert scalar.lookup(vpn)
+        batched.batch_touch(last_occurrence_order(np.array(stream)))
+        assert scalar.ckpt_state() == batched.ckpt_state()
+
+    @given(data=st.data())
+    @_SETTINGS
+    def test_cache_recency_and_counters(self, data):
+        filled = data.draw(st.lists(
+            st.tuples(st.integers(0, 63), st.sampled_from([MODIFIED, SHARED])),
+            min_size=1, max_size=16,
+            unique_by=lambda pair: pair[0]))
+        lines = [line for line, _ in filled]
+        stream = data.draw(st.lists(st.sampled_from(lines), min_size=1,
+                                    max_size=50))
+        geometry = CacheGeometry(size_bytes=4096, line_bytes=32, assoc=2)
+        scalar = SetAssocCache("l1d", geometry)
+        batched = SetAssocCache("l1d", geometry)
+        for line, state in filled:
+            scalar.fill(line, state)
+            batched.fill(line, state)
+        for line in stream:
+            assert scalar.lookup(line) is not None
+        batched.batch_touch(last_occurrence_order(np.array(stream)),
+                            float(len(stream)))
+        assert scalar.ckpt_state() == batched.ckpt_state()
+
+
+class _RandomStream(Workload):
+    """Random loads/stores over a small buffer: hits, misses, everything."""
+
+    name = "random-stream"
+
+    def __init__(self, seed, reps, n_lines=32):
+        super().__init__(TINY_SCALE)
+        self.seed = seed
+        self.reps = reps
+        self.n_lines = n_lines
+        self.line = TINY_SCALE.l1d.line_bytes
+        layout = VirtualLayout(self.page)
+        self.buffer = layout.add("rand", n_lines * self.line)
+
+    def build(self, n_cpus):
+        assert n_cpus == 1
+        store_builder = ChunkBuilder("rand/store")
+        store_builder.store(addr_reg=1, value_reg=2)
+        store_chunk = store_builder.build()
+        kernel_builder = ChunkBuilder("rand/kernel")
+        kernel_builder.load(1, addr_reg=1)
+        kernel_builder.load(2, addr_reg=1)
+        kernel_builder.store(addr_reg=1, value_reg=2)
+        kernel = kernel_builder.build()
+        rng = np.random.default_rng(self.seed)
+        picks = rng.integers(0, self.n_lines, size=(self.reps, 3))
+        addrs = self.buffer.base + picks.astype(np.int64) * self.line
+        return [[
+            touch_pages(store_chunk, self.buffer.base,
+                        self.n_lines * self.line, self.page),
+            PhaseMark("rand", True),
+            ChunkExec(kernel, addrs),
+            PhaseMark("rand", False),
+        ]]
+
+
+@pytest.mark.fastpath
+class TestMachineProperties:
+    """Whole-machine equivalence on randomized inputs."""
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           window=st.sampled_from([1, 3, 8, 256]))
+    @_RUN_SETTINGS
+    def test_random_stream_bit_identical(self, seed, window):
+        config = get_config("simos-mipsy-150")
+        with fastpath.disabled():
+            reference = run_workload(config, _RandomStream(seed, 400), 1,
+                                     TINY_SCALE)
+        with fastpath.enabled(BatchFilter(window=window)):
+            fast = run_workload(config, _RandomStream(seed, 400), 1,
+                                TINY_SCALE)
+        assert reference.to_dict() == fast.to_dict()
+
+    @given(delays=st.lists(st.integers(0, 3), min_size=1, max_size=12))
+    @_SETTINGS
+    def test_engine_tie_order_preserved(self, delays):
+        """_run_until pops the same (when, seq) order as the plain loop."""
+
+        def fire_all(batched):
+            engine = Engine()
+            log = []
+            done = engine.event()
+            for index, delay in enumerate(delays):
+                engine.schedule_at(delay, lambda tag: log.append(
+                    (engine.now, tag)), index)
+            engine.schedule_at(max(delays) + 1,
+                               lambda _: done.succeed(None), None)
+            if batched:
+                with batch_hooks.forcing(BatchFilter()):
+                    engine.run(until=done)
+            else:
+                with batch_hooks.forcing(None):
+                    engine.run(until=done)
+            return log, engine.now, engine.events_processed
+
+        ref_log, ref_now, ref_events = fire_all(batched=False)
+        fast_log, fast_now, fast_events = fire_all(batched=True)
+        assert fast_log == ref_log
+        assert (fast_now, fast_events) == (ref_now, ref_events)
+        # Same-tick entries fire in scheduling (seq) order in both loops.
+        for tick in set(delays):
+            tagged = [tag for when, tag in ref_log if when == tick]
+            assert tagged == sorted(tagged)
+
+
+# -- hooks force the reference path ----------------------------------------
+
+
+@pytest.mark.fastpath
+class TestHookAutoDisable:
+    """Any active hook sends every row down the scalar reference path."""
+
+    def _run_hot(self, filt=None, hook=None):
+        config = get_config("simos-mipsy-150")
+        context = (fastpath.enabled(filt) if filt is not None
+                   else fastpath.disabled())
+        with context:
+            if hook is None:
+                return run_workload(config, _hotloop(), 1, TINY_SCALE)
+            with hook():
+                return run_workload(config, _hotloop(), 1, TINY_SCALE)
+
+    def _assert_disabled(self, hook):
+        reference = self._run_hot(hook=hook)
+        filt = BatchFilter()
+        fast = self._run_hot(filt=filt, hook=hook)
+        assert reference.to_dict() == fast.to_dict()
+        flat = filt.registry.flat()
+        assert flat.get("fastpath.rows_fast", 0.0) == 0.0
+        assert flat["fastpath.hook_disabled_windows"] > 0
+
+    def test_obs_tracing_disables(self):
+        self._assert_disabled(lambda: obs_hooks.tracing(capacity=4096))
+
+    def test_topo_recording_disables(self):
+        self._assert_disabled(obs_topo.recording)
+
+    def test_checkpoint_gate_disables(self):
+        # A stop line far beyond the end of the run: no core ever parks,
+        # but the ambient gate alone must force the reference path.
+        far_gate = ckpt_gate.CheckpointGate(at_ps=10**15)
+        self._assert_disabled(lambda: ckpt_gate.holding(far_gate))
+
+
+# -- checkpoints across batch windows --------------------------------------
+
+
+@pytest.mark.fastpath
+class TestCheckpointRoundTrip:
+    def test_quiesce_round_trip_matches_reference(self):
+        def request():
+            return RunRequest(simos_mipsy(150), make_app("fft", TINY_SCALE),
+                              n_cpus=1, scale=TINY_SCALE)
+        with fastpath.disabled():
+            straight = request().execute()
+        # window=8 makes the half-time stop line land mid-window for any
+        # chunk with more than 8 repetitions.
+        with fastpath.enabled(BatchFilter(window=8)):
+            checkpoint = ckpt.save(request(),
+                                   at_ps=straight.total_ps // 2,
+                                   mode=ckpt.MODE_QUIESCE)
+            resumed = ckpt.resume(checkpoint)
+        assert resumed.to_dict() == straight.to_dict()
+
+
+# -- the heap the fast loop shares -----------------------------------------
+
+
+@pytest.mark.fastpath
+def test_run_until_uses_the_same_heap():
+    """The batched loop drains self._heap itself, not a copy."""
+    engine = Engine()
+    done = engine.event()
+    engine.schedule_at(5, lambda _: done.succeed("value"), None)
+    with batch_hooks.forcing(BatchFilter()):
+        assert engine.run(until=done) == "value"
+    assert engine._heap == [] and heapq.heapify(engine._heap) is None
+    assert engine.now == 5 and engine.events_processed == 1

@@ -166,7 +166,9 @@ class DsmMemorySystem:
 
         inval_done = None
         if kind == MemKind.WRITE and entry.state == SHARED:
-            others = [s for s in entry.sharers if s != node]
+            # Sorted so invalidation fan-out order never depends on set
+            # iteration order (replay digests must be process-independent).
+            others = sorted(s for s in entry.sharers if s != node)
             if others:
                 inval_done = env.all_of(
                     [self._invalidate_sharer(home, s, line) for s in others]
@@ -259,7 +261,8 @@ class DsmMemorySystem:
                                               MemKind.WRITE))
         case = LOCAL_CLEAN if home == node else REMOTE_CLEAN
         yield home_magic.pp_busy(p.pp_mem_ps, "upgrade")
-        others = [s for s in entry.sharers if s != node]
+        # Sorted for the same reason as _do_clean's invalidation fan-out.
+        others = sorted(s for s in entry.sharers if s != node)
         if others:
             yield env.all_of(
                 [self._invalidate_sharer(home, s, line) for s in others]

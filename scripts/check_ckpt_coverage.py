@@ -1,154 +1,30 @@
 #!/usr/bin/env python
-"""Lint: every stateful simulator class implements the checkpoint contract.
+"""DEPRECATED: this checker is now rule L3 of ``repro.lint``.
 
-``repro.ckpt`` can only promise a *complete* machine capture if no
-component quietly accumulates state outside the ``ckpt_state`` /
-``ckpt_restore`` protocol.  This script walks the simulator packages'
-ASTs and flags any class whose ``__init__`` assigns a mutable container
-(dict/list/set/deque/OrderedDict/defaultdict, or a comprehension) to an
-instance attribute but which neither defines ``ckpt_state`` nor inherits
-one through a base chain resolvable inside the scanned packages.
+The stateful-class checkpoint-coverage scan lives in
+``src/repro/lint/rules.py`` (CkptCoverageRule); deliberate
+non-Checkpointables are allowlisted in ``lint_allow.toml``.  This shim
+only delegates:
 
-Classes that are deliberately not Checkpointable live in ``ALLOWLIST``
-with the reason -- typically because their state is transient event
-machinery (captured as fired/pending markers by their owner) or
-build-time-constant structure the restoring machine reconstructs from
-the request.  ``tests/test_ckpt.py`` runs this script in the suite.
-Exit status 0 when clean, 1 with one line per violation otherwise.
+    python -m repro.lint --rule L3
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Dict, List, Set, Tuple
 
-#: Packages whose classes hold simulated-machine state.
-SCAN_DIRS = (
-    "src/repro/engine",
-    "src/repro/cpu",
-    "src/repro/mem",
-    "src/repro/memsys",
-    "src/repro/proto",
-    "src/repro/network",
-    "src/repro/sim",
-    "src/repro/vm",
-)
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: class name -> why it is deliberately not Checkpointable.
-ALLOWLIST = {
-    # Engine event machinery: live waiter lists are coroutine plumbing.
-    # Owners capture events as fired/pending markers; whole-event state is
-    # reconstructed by replay, never injected.
-    "Event": "transient event: owners capture it as a fired/pending marker",
-    "AllOf": "transient combinator over live events",
-    # Captured wholesale by their owning component's ckpt_state.
-    "DirEntry": "captured line-by-line by Directory.ckpt_state",
-    # Build-time-constant structure: reconstructed from the request.
-    "VirtualLayout": "build-time address-space plan; part of the workload",
-}
+from repro.lint.cli import main as lint_main  # noqa: E402
 
-_CONTAINER_CALLS = {"dict", "list", "set", "deque", "OrderedDict",
-                    "defaultdict", "Counter"}
-_CONTAINER_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
-                    ast.SetComp)
-
-
-def _is_container(value: ast.AST) -> bool:
-    if isinstance(value, _CONTAINER_NODES):
-        return True
-    if isinstance(value, ast.Call):
-        fn = value.func
-        name = fn.id if isinstance(fn, ast.Name) else (
-            fn.attr if isinstance(fn, ast.Attribute) else None)
-        return name in _CONTAINER_CALLS
-    return False
-
-
-def _assigns_self_container(fn: ast.FunctionDef) -> bool:
-    for node in ast.walk(fn):
-        if isinstance(node, (ast.Assign, ast.AnnAssign)):
-            targets = (node.targets if isinstance(node, ast.Assign)
-                       else [node.target])
-            value = node.value
-            if value is None or not _is_container(value):
-                continue
-            for target in targets:
-                if (isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"):
-                    return True
-    return False
-
-
-def _base_name(base: ast.AST) -> str:
-    if isinstance(base, ast.Name):
-        return base.id
-    if isinstance(base, ast.Attribute):
-        return base.attr
-    return ""
-
-
-def scan(root: Path):
-    """(stateful, defines_ckpt, bases, location) per class in SCAN_DIRS."""
-    classes: Dict[str, Tuple[bool, bool, List[str], str]] = {}
-    for rel in SCAN_DIRS:
-        for path in sorted((root / rel).rglob("*.py")):
-            tree = ast.parse(path.read_text(), filename=str(path))
-            for node in ast.walk(tree):
-                if not isinstance(node, ast.ClassDef):
-                    continue
-                stateful = False
-                defines = False
-                for item in node.body:
-                    if not isinstance(item, ast.FunctionDef):
-                        continue
-                    if item.name == "__init__":
-                        stateful = _assigns_self_container(item)
-                    elif item.name == "ckpt_state":
-                        defines = True
-                classes[node.name] = (
-                    stateful, defines,
-                    [_base_name(b) for b in node.bases],
-                    f"{path.relative_to(root)}:{node.lineno}",
-                )
-    return classes
-
-
-def _inherits_ckpt(name: str, classes, seen: Set[str]) -> bool:
-    if name in seen or name not in classes:
-        return False
-    seen.add(name)
-    _stateful, defines, bases, _loc = classes[name]
-    if defines:
-        return True
-    return any(_inherits_ckpt(base, classes, seen) for base in bases)
+RULES = "L3"
 
 
 def main(argv=None) -> int:
-    root = Path(__file__).resolve().parent.parent
-    classes = scan(root)
-    violations = []
-    stale_allow = sorted(set(ALLOWLIST) - set(classes))
-    for name, (stateful, _defines, _bases, loc) in sorted(classes.items()):
-        if not stateful or name in ALLOWLIST:
-            continue
-        if not _inherits_ckpt(name, classes, set()):
-            violations.append((loc, name))
-    for loc, name in violations:
-        print(f"{loc}: stateful class {name} implements no ckpt_state "
-              "(add the Checkpointable contract, or allowlist it with a "
-              "reason in scripts/check_ckpt_coverage.py)")
-    for name in stale_allow:
-        print(f"ALLOWLIST entry {name!r} matches no scanned class "
-              "(remove it)")
-    if violations or stale_allow:
-        return 1
-    stateful_n = sum(1 for s, *_ in classes.values() if s)
-    print(f"ok: {len(classes)} classes scanned, {stateful_n} stateful, "
-          f"{len(ALLOWLIST)} allowlisted, rest implement ckpt_state")
-    return 0
+    print("note: scripts/check_ckpt_coverage.py is a deprecated shim for "
+          f"`python -m repro.lint --rule {RULES}`", file=sys.stderr)
+    return lint_main(["--rule", RULES])
 
 
 if __name__ == "__main__":

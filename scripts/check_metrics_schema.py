@@ -1,137 +1,29 @@
 #!/usr/bin/env python
-"""Check: the metrics-ledger record schema is frozen and round-trips.
+"""DEPRECATED: this checker is now rule L4 of ``repro.lint``.
 
-The ledger (``out/ledger.jsonl``) is an append-only log read back across
-sessions, so its record layout is a compatibility contract: tools written
-against today's records must still parse next month's file.  This script
-pins that contract:
+The frozen ledger-schema contract (field set, round-trip stability,
+malformed-record rejection) lives in ``src/repro/lint/rules.py``
+(LedgerSchemaRule).  This shim only delegates:
 
-1. the field set and types in ``repro.obs.metrics.LEDGER_SCHEMA`` match
-   the frozen copy below (changing the schema means bumping
-   ``SCHEMA_VERSION`` *and* updating this file in the same change);
-2. a representative record survives
-   ``LedgerRecord -> to_dict -> json -> from_dict`` byte-identically and
-   validates cleanly;
-3. ``validate_record`` still rejects unknown fields, wrong types and
-   unknown outcomes.
-
-``tests/test_obs_tooling.py`` runs this in the suite.  Exit status 0 when
-the contract holds, 1 with a diagnostic per violation otherwise.
+    python -m repro.lint --rule L4
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs import metrics  # noqa: E402
+from repro.lint.cli import main as lint_main  # noqa: E402
 
-#: The frozen contract: field -> (type name, required).  Must equal
-#: ``metrics.LEDGER_SCHEMA`` exactly.
-FROZEN_SCHEMA_VERSION = 1
-FROZEN_FIELDS = {
-    "schema": ("int", True),
-    "ts": ("float", True),
-    "key": ("str", True),
-    "config": ("str", True),
-    "workload": ("str", True),
-    "n_cpus": ("int", True),
-    "scale": ("str", True),
-    "seed": ("int", True),
-    "parallel_ps": ("int", True),
-    "total_ps": ("int", True),
-    "instructions": ("float", True),
-    "wall_s": ("float", True),
-    "outcome": ("str", True),
-    "percent_error": ("float", False),
-    "attribution": ("dict", False),
-}
-
-#: One record exercising every field, optionals included.
-SAMPLE = {
-    "schema": 1,
-    "ts": 1722945600.0,
-    "key": "0123456789abcdef",
-    "config": "solo-mipsy-150-tuned",
-    "workload": "fft",
-    "n_cpus": 1,
-    "scale": "repro",
-    "seed": 42,
-    "parallel_ps": 123456789,
-    "total_ps": 133456789,
-    "instructions": 1000000,
-    "wall_s": 1.5,
-    "outcome": "run",
-    "percent_error": -3.25,
-    "attribution": {"busy": 0.6, "tlb": 0.25, "mem": 0.15},
-}
-
-
-def check_frozen() -> list:
-    problems = []
-    if metrics.SCHEMA_VERSION != FROZEN_SCHEMA_VERSION:
-        problems.append(
-            f"SCHEMA_VERSION is {metrics.SCHEMA_VERSION}, frozen copy says "
-            f"{FROZEN_SCHEMA_VERSION}: update scripts/check_metrics_schema.py "
-            "alongside the bump")
-    live = {name: (tp.__name__, required)
-            for name, (tp, required) in metrics.LEDGER_SCHEMA.items()}
-    for name in sorted(set(live) | set(FROZEN_FIELDS)):
-        if name not in live:
-            problems.append(f"field {name!r} removed from LEDGER_SCHEMA "
-                            "without a schema-version bump")
-        elif name not in FROZEN_FIELDS:
-            problems.append(f"field {name!r} added to LEDGER_SCHEMA "
-                            "without a schema-version bump")
-        elif live[name] != FROZEN_FIELDS[name]:
-            problems.append(f"field {name!r} changed: live {live[name]}, "
-                            f"frozen {FROZEN_FIELDS[name]}")
-    return problems
-
-
-def check_roundtrip() -> list:
-    problems = []
-    errors = metrics.validate_record(SAMPLE)
-    if errors:
-        problems.append(f"sample record does not validate: {errors}")
-        return problems
-    record = metrics.LedgerRecord.from_dict(SAMPLE)
-    wire = json.dumps(record.to_dict(), sort_keys=True)
-    back = metrics.LedgerRecord.from_dict(json.loads(wire))
-    if back != record:
-        problems.append("record changed across to_dict -> json -> from_dict")
-    if json.dumps(back.to_dict(), sort_keys=True) != wire:
-        problems.append("serialized form is not stable across a round trip")
-    return problems
-
-
-def check_rejections() -> list:
-    problems = []
-    cases = (
-        ({**SAMPLE, "surprise": 1}, "unknown field"),
-        ({**SAMPLE, "parallel_ps": "fast"}, "wrong type"),
-        ({**SAMPLE, "outcome": "teleported"}, "unknown outcome"),
-        ({k: v for k, v in SAMPLE.items() if k != "key"}, "missing field"),
-    )
-    for record, label in cases:
-        if not metrics.validate_record(record):
-            problems.append(f"validate_record accepted a record with "
-                            f"{label}")
-    return problems
+RULES = "L4"
 
 
 def main(argv=None) -> int:
-    problems = check_frozen() + check_roundtrip() + check_rejections()
-    for problem in problems:
-        print(f"metrics schema contract broken: {problem}")
-    if problems:
-        return 1
-    print(f"ok: ledger schema v{metrics.SCHEMA_VERSION}, "
-          f"{len(FROZEN_FIELDS)} fields frozen, round-trip stable")
-    return 0
+    print("note: scripts/check_metrics_schema.py is a deprecated shim for "
+          f"`python -m repro.lint --rule {RULES}`", file=sys.stderr)
+    return lint_main(["--rule", RULES])
 
 
 if __name__ == "__main__":

@@ -1,201 +1,31 @@
 #!/usr/bin/env python
-"""Lint: the simulator hot path stays free of observability costs.
+"""DEPRECATED: this checker is now rules L1 and L2 of ``repro.lint``.
 
-The observability contract (DESIGN.md, "Observability") is that tracing
-costs nothing when disabled.  Two rules enforce it:
+The hot-path guard scan and the four subsystem import bans live in
+``src/repro/lint/rules.py`` (HotPathGuardRule, ImportBanRule), run over
+the tree in the same single AST pass as every other invariant.  This
+shim only delegates:
 
-1. The dispatch loop in ``src/repro/engine/kernel.py`` runs once per
-   calendar event -- the hottest code in the simulator -- so every
-   ``record``/``record_now`` call there must sit behind an
-   ``... is not None`` guard on a local.
-2. The metrics ledger (``repro.obs.metrics``) is a harness-side concern:
-   it hooks the farm, never the models.  Nothing under ``cpu/``, ``mem/``
-   or ``engine/`` may import it, conditionally or otherwise.
-3. The spatial recorder (``repro.obs.topo``) follows the same ambient-hook
-   pattern: hot code reads the ``repro.obs.hooks.topo`` slot behind an
-   ``is not None`` guard.  Nothing under ``cpu/``, ``mem/``, ``engine/``,
-   ``memsys/`` or ``network/`` may import ``repro.obs.topo`` itself.
-4. The checkpoint subsystem (``repro.ckpt``) is orchestration, not
-   modelling: nothing under ``cpu/``, ``mem/`` or ``engine/`` may import
-   it.  The models' only checkpoint hook is the ambient stop line in
-   ``repro.common.gate`` (one slot read per trace item), plus their own
-   ``ckpt_state``/``ckpt_restore`` methods, which depend on nothing.
-5. The batch fast path (``repro.fastpath``) follows the same shape: it
-   is an accelerator *over* the models, activated through the
-   ``repro.common.batch`` slot, and must stay importable-free from
-   model code -- nothing under ``cpu/``, ``mem/``, ``engine/``,
-   ``memsys/`` or ``network/`` may import ``repro.fastpath``, so the
-   reference semantics never depend on the accelerator existing.
-
-This script greps for violations; ``tests/test_obs_tooling.py`` runs it
-in the suite.  Exit status 0 when clean, 1 with one line per violation
-otherwise.
+    python -m repro.lint --rule L1,L2
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
 
-#: Files whose every trace call must be guarded.  The engine kernel is the
-#: contractual one; the core models are included because their inner loops
-#: run once per memory reference.
-HOT_PATH_FILES = (
-    "src/repro/engine/kernel.py",
-    "src/repro/cpu/core.py",
-    "src/repro/cpu/mipsy.py",
-    "src/repro/cpu/window.py",
-    "src/repro/cpu/interface.py",
-    "src/repro/mem/cache.py",
-    "src/repro/mem/tlb.py",
-)
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: Directories that may never import the metrics ledger, even guarded.
-HOT_PATH_DIRS = (
-    "src/repro/cpu",
-    "src/repro/mem",
-    "src/repro/engine",
-)
+from repro.lint.cli import main as lint_main  # noqa: E402
 
-#: Directories that may never import the spatial recorder module; their
-#: counting hooks go through the ``repro.obs.hooks.topo`` slot instead.
-TOPO_BANNED_DIRS = (
-    "src/repro/cpu",
-    "src/repro/mem",
-    "src/repro/engine",
-    "src/repro/memsys",
-    "src/repro/network",
-)
-
-_TRACE_CALL = re.compile(r"\.(record|record_now)\s*\(")
-_GUARD = re.compile(r"if\s+\w+(\.\w+)*\s+is\s+not\s+None")
-_METRICS_IMPORT = re.compile(
-    r"^\s*(from\s+repro\.obs(\.metrics)?\s+import\b.*\bmetrics\b"
-    r"|import\s+repro\.obs\.metrics\b"
-    r"|from\s+repro\.obs\.metrics\s+import\b)")
-_TOPO_IMPORT = re.compile(
-    r"^\s*(from\s+repro\.obs\s+import\b.*\btopo\b"
-    r"|import\s+repro\.obs\.topo\b"
-    r"|from\s+repro\.obs\.topo\s+import\b)")
-#: Matches any import of the checkpoint subsystem package.  Deliberately
-#: does NOT match ``repro.common.gate`` -- that slot is the sanctioned
-#: hot-path hook.
-_CKPT_IMPORT = re.compile(
-    r"^\s*(from\s+repro\s+import\b.*\bckpt\b"
-    r"|import\s+repro\.ckpt\b"
-    r"|from\s+repro\.ckpt\b)")
-#: Matches any import of the batch fast path.  Deliberately does NOT
-#: match ``repro.common.batch`` -- that slot is the sanctioned hook.
-_FASTPATH_IMPORT = re.compile(
-    r"^\s*(from\s+repro\s+import\b.*\bfastpath\b"
-    r"|import\s+repro\.fastpath\b"
-    r"|from\s+repro\.fastpath\b)")
-#: How many preceding lines may separate the guard from the call (the call
-#: plus its wrapped arguments must start right under the guard).
-_GUARD_WINDOW = 4
-
-
-def check_file(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` for every unguarded trace call."""
-    violations = []
-    lines = path.read_text().splitlines()
-    for i, line in enumerate(lines):
-        if not _TRACE_CALL.search(line):
-            continue
-        window = lines[max(0, i - _GUARD_WINDOW):i]
-        if not any(_GUARD.search(prev) for prev in window):
-            violations.append((i + 1, line.strip()))
-    return violations
-
-
-def check_metrics_imports(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` for every metrics-ledger import."""
-    violations = []
-    for i, line in enumerate(path.read_text().splitlines()):
-        if _METRICS_IMPORT.search(line):
-            violations.append((i + 1, line.strip()))
-    return violations
-
-
-def check_topo_imports(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` for every spatial-recorder import."""
-    violations = []
-    for i, line in enumerate(path.read_text().splitlines()):
-        if _TOPO_IMPORT.search(line):
-            violations.append((i + 1, line.strip()))
-    return violations
-
-
-def check_ckpt_imports(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` for every repro.ckpt import."""
-    violations = []
-    for i, line in enumerate(path.read_text().splitlines()):
-        if _CKPT_IMPORT.search(line):
-            violations.append((i + 1, line.strip()))
-    return violations
-
-
-def check_fastpath_imports(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` for every repro.fastpath import."""
-    violations = []
-    for i, line in enumerate(path.read_text().splitlines()):
-        if _FASTPATH_IMPORT.search(line):
-            violations.append((i + 1, line.strip()))
-    return violations
+RULES = "L1,L2"
 
 
 def main(argv=None) -> int:
-    root = Path(__file__).resolve().parent.parent
-    targets = [root / rel for rel in HOT_PATH_FILES]
-    failed = False
-    for target in targets:
-        for lineno, line in check_file(target):
-            failed = True
-            print(f"{target.relative_to(root)}:{lineno}: "
-                  f"unguarded tracer call in hot path: {line}")
-    dir_files = sorted(
-        p for rel in HOT_PATH_DIRS for p in (root / rel).rglob("*.py"))
-    for target in dir_files:
-        for lineno, line in check_metrics_imports(target):
-            failed = True
-            print(f"{target.relative_to(root)}:{lineno}: "
-                  f"metrics-ledger import in hot path: {line}")
-    topo_files = sorted(
-        p for rel in TOPO_BANNED_DIRS for p in (root / rel).rglob("*.py"))
-    for target in topo_files:
-        for lineno, line in check_topo_imports(target):
-            failed = True
-            print(f"{target.relative_to(root)}:{lineno}: "
-                  f"spatial-recorder import in hot path: {line}")
-    for target in dir_files:
-        for lineno, line in check_ckpt_imports(target):
-            failed = True
-            print(f"{target.relative_to(root)}:{lineno}: "
-                  f"repro.ckpt import in hot path: {line}")
-    for target in topo_files:
-        for lineno, line in check_fastpath_imports(target):
-            failed = True
-            print(f"{target.relative_to(root)}:{lineno}: "
-                  f"repro.fastpath import in hot path: {line}")
-    if failed:
-        print("observability contract broken: guard every tracer call with "
-              "`if <tracer> is not None`, keep repro.obs.metrics out of "
-              "the models, reach the spatial recorder only through the "
-              "repro.obs.hooks.topo slot, keep repro.ckpt out of the "
-              "models entirely -- their checkpoint hook is "
-              "repro.common.gate -- and keep repro.fastpath out too: its "
-              "hook is the repro.common.batch slot (see repro/obs/hooks.py, "
-              "repro/obs/metrics.py, repro/obs/topo.py, repro/common/gate.py, "
-              "repro/common/batch.py)")
-        return 1
-    print(f"ok: {len(targets)} hot-path files, all tracer calls guarded; "
-          f"{len(dir_files)} model files, no metrics-ledger imports; "
-          f"{len(topo_files)} model files, no spatial-recorder imports; "
-          f"{len(dir_files)} model files, no repro.ckpt imports; "
-          f"{len(topo_files)} model files, no repro.fastpath imports")
-    return 0
+    print("note: scripts/check_no_tracer_in_hot_path.py is a deprecated "
+          f"shim for `python -m repro.lint --rule {RULES}`",
+          file=sys.stderr)
+    return lint_main(["--rule", RULES])
 
 
 if __name__ == "__main__":

@@ -1,108 +1,30 @@
 #!/usr/bin/env python
-"""Guard: every result object must survive a process boundary.
+"""DEPRECATED: this checker is now rule L5 of ``repro.lint``.
 
-The experiment farm ships :class:`RunResult` (and everything a request
-carries) through ``multiprocessing`` and serializes results into the
-on-disk cache, so result-bearing dataclasses must never grow a stream,
-engine, tracer or other unpicklable member.  Like the hot-path tracer
-lint (``check_no_tracer_in_hot_path.py``), this runs in two parts:
+The result-object picklability contract (annotation scan plus runtime
+pickle round trip) lives in ``src/repro/lint/rules.py``
+(PicklabilityRule).  This shim only delegates:
 
-1. a **source lint** over the result-object modules: no dataclass field
-   may be annotated with a stream/engine/tracer/iterator type;
-2. a **runtime round trip**: representative result objects are built from
-   a tiny simulation and must survive ``pickle`` and (for RunResult) the
-   JSON ``to_dict``/``from_dict`` cache format exactly.
-
-Exit status 0 when clean, 1 with one line per violation otherwise.
-``tests/test_farm.py`` runs this in the suite.
+    python -m repro.lint --rule L5
 """
 
 from __future__ import annotations
 
-import pickle
-import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
 
-REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: Modules whose dataclasses travel across the farm's process boundary
-#: (as results, or inside a pickled RunRequest).
-RESULT_MODULES = (
-    "src/repro/sim/results.py",
-    "src/repro/sim/request.py",
-    "src/repro/harness/findings.py",
-    "src/repro/obs/profile.py",
-    "src/repro/validation/comparison.py",
-    "src/repro/validation/trends.py",
-    "src/repro/validation/sensitivity.py",
-    "src/repro/validation/tuning.py",
-    "src/repro/validation/bugs.py",
-)
+from repro.lint.cli import main as lint_main  # noqa: E402
 
-#: Field annotations that cannot cross a process boundary (streams,
-#: live engines/tracers, exhausted-on-pickle iterators).
-_FORBIDDEN = re.compile(
-    r":\s*[^=#]*\b(TextIO|BinaryIO|IO\[|Engine|TraceRecorder|"
-    r"Iterator|Generator)\b"
-)
-_FIELD = re.compile(r"^\s+\w+\s*:")
+RULES = "L5"
 
 
-def check_file(path: Path) -> List[Tuple[int, str]]:
-    """Return ``(line_number, line)`` per forbidden-typed field."""
-    violations = []
-    for i, line in enumerate(path.read_text().splitlines()):
-        if _FIELD.match(line) and _FORBIDDEN.search(line):
-            violations.append((i + 1, line.strip()))
-    return violations
-
-
-def runtime_roundtrip() -> List[str]:
-    """Build representative result objects and round-trip them."""
-    sys.path.insert(0, str(REPO / "src"))
-    from repro.common.config import TINY_SCALE
-    from repro.harness import run_experiment
-    from repro.sim.request import RunRequest
-    from repro.sim.configs import simos_mipsy
-    from repro.workloads import make_app
-
-    problems = []
-    request = RunRequest(simos_mipsy(150), make_app("fft", TINY_SCALE),
-                        n_cpus=1)
-    for name, obj in (
-        ("RunRequest", request),
-        ("RunResult", request.execute()),
-        ("ExperimentResult", run_experiment("table1", TINY_SCALE)),
-    ):
-        try:
-            clone = pickle.loads(pickle.dumps(obj))
-        except Exception as exc:  # noqa: BLE001 - report, don't crash
-            problems.append(f"{name} failed pickle round trip: {exc!r}")
-            continue
-        if name == "RunResult":
-            if clone != obj:
-                problems.append("RunResult pickle round trip not equal")
-            if type(obj).from_dict(obj.to_dict()) != obj:
-                problems.append("RunResult to_dict/from_dict not exact")
-    return problems
-
-
-def main() -> int:
-    failures = 0
-    for rel in RESULT_MODULES:
-        for line_no, line in check_file(REPO / rel):
-            print(f"{rel}:{line_no}: unpicklable field type: {line}")
-            failures += 1
-    for problem in runtime_roundtrip():
-        print(problem)
-        failures += 1
-    if failures:
-        print(f"{failures} picklability violation(s)")
-        return 1
-    print("all result objects picklable")
-    return 0
+def main(argv=None) -> int:
+    print("note: scripts/check_runresult_picklable.py is a deprecated "
+          f"shim for `python -m repro.lint --rule {RULES}`",
+          file=sys.stderr)
+    return lint_main(["--rule", RULES])
 
 
 if __name__ == "__main__":

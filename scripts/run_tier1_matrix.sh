@@ -13,6 +13,19 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Invariant gate first: a tree that breaks a static contract fails
+# before any simulation time is spent.  The JSON report is emitted only
+# on failure (machine-readable for CI annotation).
+echo "=== lint gate: python -m repro.lint ==="
+lint_json="$(mktemp)"
+if ! PYTHONPATH=src python -m repro.lint --json > "$lint_json"; then
+    cat "$lint_json"
+    rm -f "$lint_json"
+    echo "=== lint gate failed ==="
+    exit 1
+fi
+rm -f "$lint_json"
+
 for mode in 0 1; do
     echo "=== tier-1 with REPRO_FASTPATH=$mode ==="
     REPRO_FASTPATH=$mode PYTHONPATH=src python -m pytest -x -q "$@"

@@ -39,7 +39,7 @@ import sys
 from contextlib import ExitStack
 from typing import List, Optional
 
-from repro.common.config import get_scale
+from repro.common.config import SCALES, get_scale
 from repro.harness.experiments import experiment_ids, run_experiment
 from repro.harness.farm import Farm, ResultCache, default_cache_dir
 
@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
 def validate_args(parser: argparse.ArgumentParser,
                   args: argparse.Namespace) -> None:
     """Reject nonsensical combinations before any simulation starts."""
+    if args.experiment != "all" and args.experiment not in experiment_ids():
+        parser.error(f"unknown experiment {args.experiment!r}; known: "
+                     f"{', '.join(experiment_ids())}, or 'all'")
+    if args.scale not in SCALES:
+        parser.error(f"unknown scale {args.scale!r}; known: "
+                     f"{', '.join(sorted(SCALES))}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs} "
                      "(1 means serial; N fans batches over N workers)")

@@ -1,0 +1,832 @@
+"""The rule registry: ported contract checks (L1-L5) and determinism
+hazards (D1-D4).
+
+The L rules port the four historical ``scripts/check_*.py`` checkers
+onto the shared engine; the D rules are new and guard the property the
+whole reproduction stands on -- bit-identical replay -- at its weakest
+points: hash-order-dependent iteration, ambient wall-clock/environment
+reads inside the simulated machine, undisciplined ambient-hook calls,
+and ``id()``-keyed ordering of simulated objects.
+
+Scopes are dotted-module based so the same registry runs over the live
+tree and over the fixture mini-packages in ``tests/lint_fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import (
+    FileContext,
+    Rule,
+    RunContext,
+    _in_packages,
+)
+
+#: Packages whose code runs *inside* the simulated machine.  Determinism
+#: rules apply here: anything order- or environment-dependent in these
+#: packages lands directly in cycle counts and replay digests.
+SIMULATOR_PACKAGES = (
+    "repro.engine", "repro.cpu", "repro.mem", "repro.memsys",
+    "repro.proto", "repro.network", "repro.vm", "repro.sim",
+    "repro.isa", "repro.workloads", "repro.os",
+)
+
+#: The subset whose *configuration* must arrive through requests, never
+#: ambient process state (wall clock, environment variables).
+AMBIENT_BANNED_PACKAGES = (
+    "repro.engine", "repro.cpu", "repro.mem", "repro.memsys",
+    "repro.proto", "repro.network", "repro.vm",
+)
+
+
+# ---------------------------------------------------------------------------
+# L1: hot-path tracer guards
+# ---------------------------------------------------------------------------
+
+class HotPathGuardRule(Rule):
+    """Every tracer call in the hot path sits behind an ``is not None``
+    guard on a local (ported from check_no_tracer_in_hot_path.py)."""
+
+    id = "L1"
+    title = "hot-path tracer calls must be guarded"
+    rationale = (
+        "The observability contract is zero cost when disabled.  The "
+        "engine dispatch loop and the model inner loops run once per "
+        "event / memory reference, so a tracer call there must read the "
+        "hook slot into a local and test `is not None` first; an "
+        "unguarded call re-introduces per-event overhead even with "
+        "tracing off.")
+    hint = ("read the slot into a local (`tracer = obs_hooks.active`) and "
+            "wrap the call in `if tracer is not None:` within "
+            f"{4} lines above it")
+    subsystem = "repro.obs"
+
+    #: Modules whose every trace call must be guarded: the engine kernel
+    #: (contractual) plus the model inner loops.
+    HOT_PATH_MODULES = (
+        "repro.engine.kernel",
+        "repro.cpu.core",
+        "repro.cpu.mipsy",
+        "repro.cpu.window",
+        "repro.cpu.interface",
+        "repro.mem.cache",
+        "repro.mem.tlb",
+    )
+
+    _GUARD = re.compile(r"if\s+\w+(\.\w+)*\s+is\s+not\s+None")
+    #: The call plus its wrapped arguments must start right under the guard.
+    GUARD_WINDOW = 4
+
+    def scope(self, module: str) -> bool:
+        return module in self.HOT_PATH_MODULES
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("record", "record_now")):
+            return
+        lineno = node.lineno
+        window = ctx.lines[max(0, lineno - 1 - self.GUARD_WINDOW):lineno - 1]
+        if not any(self._GUARD.search(prev) for prev in window):
+            ctx.report(self, node,
+                       f"unguarded tracer call in hot path: "
+                       f"{ctx.lines[lineno - 1].strip()}")
+
+
+# ---------------------------------------------------------------------------
+# L2: subsystem import bans in model code
+# ---------------------------------------------------------------------------
+
+class ImportBanRule(Rule):
+    """Harness-side subsystems stay importable-free from model code
+    (ported from check_no_tracer_in_hot_path.py, bans 2-5)."""
+
+    id = "L2"
+    title = "model code must not import harness-side subsystems"
+    rationale = (
+        "The models' only channels to observability, checkpointing, and "
+        "the batch fast path are the ambient hook slots (repro.obs.hooks, "
+        "repro.common.gate, repro.common.batch): one attribute read and a "
+        "None test when disabled.  Importing the subsystems themselves "
+        "couples reference semantics to optional machinery and "
+        "re-introduces cost and cycles into the dependency graph.")
+    hint = ("reach the subsystem through its sanctioned slot instead: "
+            "repro.obs.hooks (tracer/topo), repro.common.gate "
+            "(checkpoints), repro.common.batch (fast path)")
+    subsystem = "repro.obs / repro.ckpt / repro.fastpath"
+
+    #: banned module -> (packages it is banned in, what to use instead).
+    BANS: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
+        ("repro.obs.metrics",
+         ("repro.cpu", "repro.mem", "repro.engine"),
+         "the ledger hooks the farm, never the models"),
+        ("repro.obs.topo",
+         ("repro.cpu", "repro.mem", "repro.engine", "repro.memsys",
+          "repro.network"),
+         "count through the guarded repro.obs.hooks.topo slot"),
+        ("repro.ckpt",
+         ("repro.cpu", "repro.mem", "repro.engine"),
+         "the models' checkpoint hook is repro.common.gate"),
+        ("repro.fastpath",
+         ("repro.cpu", "repro.mem", "repro.engine", "repro.memsys",
+          "repro.network"),
+         "the accelerator hook is the repro.common.batch slot"),
+    )
+
+    def scope(self, module: str) -> bool:
+        return any(_in_packages(module, packages)
+                   for _banned, packages, _why in self.BANS)
+
+    def _imported_targets(self, ctx: FileContext,
+                          node: ast.AST) -> List[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if isinstance(node, ast.ImportFrom):
+            base = ctx.import_base(node)
+            return [f"{base}.{alias.name}" if base else alias.name
+                    for alias in node.names]
+        return []
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            return
+        for target in self._imported_targets(ctx, node):
+            for banned, packages, why in self.BANS:
+                if not _in_packages(ctx.module, packages):
+                    continue
+                if target == banned or target.startswith(banned + "."):
+                    ctx.report(self, node,
+                               f"{banned} imported in model code "
+                               f"({ctx.lines[node.lineno - 1].strip()})",
+                               hint=f"{why} (see the {banned} module "
+                                    "docstring)")
+
+
+# ---------------------------------------------------------------------------
+# L3: checkpoint coverage
+# ---------------------------------------------------------------------------
+
+_CONTAINER_CALLS = {"dict", "list", "set", "deque", "OrderedDict",
+                    "defaultdict", "Counter"}
+_CONTAINER_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+
+
+def _is_container(value: ast.AST) -> bool:
+    if isinstance(value, _CONTAINER_NODES):
+        return True
+    if isinstance(value, ast.Call):
+        fn = value.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None)
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _assigns_self_container(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            value = node.value
+            if value is None or not _is_container(value):
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return True
+    return False
+
+
+def _base_name(base: ast.AST) -> str:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return ""
+
+
+class CkptCoverageRule(Rule):
+    """Every stateful simulator class implements the checkpoint contract
+    (ported from check_ckpt_coverage.py)."""
+
+    id = "L3"
+    title = "stateful simulator classes must implement ckpt_state"
+    rationale = (
+        "repro.ckpt can only promise a *complete* machine capture if no "
+        "component quietly accumulates state outside the "
+        "ckpt_state/ckpt_restore protocol.  A class whose __init__ "
+        "assigns a mutable container to an instance attribute holds "
+        "state; if neither it nor a scanned base defines ckpt_state, "
+        "that state silently escapes every checkpoint.")
+    hint = ("implement ckpt_state/ckpt_restore, or allowlist the class in "
+            "lint_allow.toml with the reason it is deliberately not "
+            "Checkpointable (transient event machinery, build-time-"
+            "constant structure)")
+    subsystem = "repro.ckpt"
+
+    SCAN_PACKAGES = (
+        "repro.engine", "repro.cpu", "repro.mem", "repro.memsys",
+        "repro.proto", "repro.network", "repro.sim", "repro.vm",
+    )
+
+    def scope(self, module: str) -> bool:
+        return _in_packages(module, self.SCAN_PACKAGES)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not isinstance(node, ast.ClassDef):
+            return
+        stateful = False
+        defines = False
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name == "__init__":
+                stateful = _assigns_self_container(item)
+            elif item.name == "ckpt_state":
+                defines = True
+        classes = ctx.run.scratch(self).setdefault("classes", {})
+        # Keyed by bare name: base-chain references are bare names too.
+        classes[node.name] = {
+            "stateful": stateful,
+            "defines": defines,
+            "bases": [_base_name(b) for b in node.bases],
+            "relpath": ctx.relpath,
+            "line": node.lineno,
+            "qualname": ctx.qualname_at([node.name]),
+        }
+
+    def _inherits(self, name: str, classes: dict, seen: set) -> bool:
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        info = classes[name]
+        if info["defines"]:
+            return True
+        return any(self._inherits(base, classes, seen)
+                   for base in info["bases"])
+
+    def finalize(self, run: RunContext) -> None:
+        classes = run.scratch(self).get("classes", {})
+        for name, info in sorted(classes.items()):
+            if not info["stateful"]:
+                continue
+            if not self._inherits(name, classes, set()):
+                run.report(self, path=info["relpath"], line=info["line"],
+                           qualname=info["qualname"],
+                           message=f"stateful class {name} implements no "
+                                   "ckpt_state (and inherits none from a "
+                                   "scanned base)")
+
+
+# ---------------------------------------------------------------------------
+# L4: frozen ledger schema
+# ---------------------------------------------------------------------------
+
+class LedgerSchemaRule(Rule):
+    """The metrics-ledger record schema is frozen and round-trips
+    (ported from check_metrics_schema.py)."""
+
+    id = "L4"
+    title = "the metrics-ledger schema is frozen"
+    rationale = (
+        "The ledger is an append-only log read back across sessions: "
+        "tools written against today's records must parse next month's "
+        "file.  The field set and types are pinned here; changing them "
+        "means bumping SCHEMA_VERSION *and* updating this frozen copy in "
+        "the same change, which is what makes the break visible in "
+        "review.")
+    hint = ("bump repro.obs.metrics.SCHEMA_VERSION and update the frozen "
+            "copy in repro/lint/rules.py (LedgerSchemaRule) in the same "
+            "commit")
+    subsystem = "repro.obs.metrics"
+
+    ANCHOR = ("src/repro/obs/metrics.py", "repro.obs.metrics")
+
+    FROZEN_SCHEMA_VERSION = 1
+    FROZEN_FIELDS = {
+        "schema": ("int", True),
+        "ts": ("float", True),
+        "key": ("str", True),
+        "config": ("str", True),
+        "workload": ("str", True),
+        "n_cpus": ("int", True),
+        "scale": ("str", True),
+        "seed": ("int", True),
+        "parallel_ps": ("int", True),
+        "total_ps": ("int", True),
+        "instructions": ("float", True),
+        "wall_s": ("float", True),
+        "outcome": ("str", True),
+        "percent_error": ("float", False),
+        "attribution": ("dict", False),
+    }
+
+    #: One record exercising every field, optionals included.
+    SAMPLE = {
+        "schema": 1,
+        "ts": 1722945600.0,
+        "key": "0123456789abcdef",
+        "config": "solo-mipsy-150-tuned",
+        "workload": "fft",
+        "n_cpus": 1,
+        "scale": "repro",
+        "seed": 42,
+        "parallel_ps": 123456789,
+        "total_ps": 133456789,
+        "instructions": 1000000,
+        "wall_s": 1.5,
+        "outcome": "run",
+        "percent_error": -3.25,
+        "attribution": {"busy": 0.6, "tlb": 0.25, "mem": 0.15},
+    }
+
+    def scope(self, module: str) -> bool:
+        return False  # purely a runtime contract check
+
+    def check_frozen(self) -> List[str]:
+        from repro.obs import metrics
+        problems = []
+        if metrics.SCHEMA_VERSION != self.FROZEN_SCHEMA_VERSION:
+            problems.append(
+                f"SCHEMA_VERSION is {metrics.SCHEMA_VERSION}, frozen copy "
+                f"says {self.FROZEN_SCHEMA_VERSION}: update the frozen "
+                "copy alongside the bump")
+        live = {name: (tp.__name__, required)
+                for name, (tp, required) in metrics.LEDGER_SCHEMA.items()}
+        for name in sorted(set(live) | set(self.FROZEN_FIELDS)):
+            if name not in live:
+                problems.append(f"field {name!r} removed from LEDGER_SCHEMA "
+                                "without a schema-version bump")
+            elif name not in self.FROZEN_FIELDS:
+                problems.append(f"field {name!r} added to LEDGER_SCHEMA "
+                                "without a schema-version bump")
+            elif live[name] != self.FROZEN_FIELDS[name]:
+                problems.append(
+                    f"field {name!r} changed: live {live[name]}, "
+                    f"frozen {self.FROZEN_FIELDS[name]}")
+        return problems
+
+    def check_roundtrip(self) -> List[str]:
+        import json
+        from repro.obs import metrics
+        problems = []
+        errors = metrics.validate_record(self.SAMPLE)
+        if errors:
+            return [f"sample record does not validate: {errors}"]
+        record = metrics.LedgerRecord.from_dict(self.SAMPLE)
+        wire = json.dumps(record.to_dict(), sort_keys=True)
+        back = metrics.LedgerRecord.from_dict(json.loads(wire))
+        if back != record:
+            problems.append(
+                "record changed across to_dict -> json -> from_dict")
+        if json.dumps(back.to_dict(), sort_keys=True) != wire:
+            problems.append(
+                "serialized form is not stable across a round trip")
+        return problems
+
+    def check_rejections(self) -> List[str]:
+        from repro.obs import metrics
+        problems = []
+        cases = (
+            ({**self.SAMPLE, "surprise": 1}, "an unknown field"),
+            ({**self.SAMPLE, "parallel_ps": "fast"}, "a wrong type"),
+            ({**self.SAMPLE, "outcome": "teleported"}, "an unknown outcome"),
+            ({k: v for k, v in self.SAMPLE.items() if k != "key"},
+             "a missing field"),
+        )
+        for record, label in cases:
+            if not metrics.validate_record(record):
+                problems.append(
+                    f"validate_record accepted a record with {label}")
+        return problems
+
+    def finalize(self, run: RunContext) -> None:
+        if not run.runtime:
+            return
+        path, qualname = self.ANCHOR
+        for problem in (self.check_frozen() + self.check_roundtrip()
+                        + self.check_rejections()):
+            run.report(self, path=path, line=1, qualname=qualname,
+                       message=f"ledger schema contract broken: {problem}")
+
+
+# ---------------------------------------------------------------------------
+# L5: result-object picklability
+# ---------------------------------------------------------------------------
+
+class PicklabilityRule(Rule):
+    """Result objects survive process boundaries (ported from
+    check_runresult_picklable.py)."""
+
+    id = "L5"
+    title = "result objects must survive a process boundary"
+    rationale = (
+        "The experiment farm ships RunResult (and everything a request "
+        "carries) through multiprocessing and serializes results into "
+        "the on-disk cache, so result-bearing dataclasses must never "
+        "grow a stream, engine, tracer, or exhausted-on-pickle iterator "
+        "member.  The static scan catches the annotation; the runtime "
+        "round trip catches everything else.")
+    hint = ("carry plain data across the boundary: extract the payload "
+            "into builtins (dict/list/str/int/float) before it reaches a "
+            "result dataclass")
+    subsystem = "repro.harness (farm)"
+
+    #: Modules whose dataclasses travel across the farm's process boundary.
+    RESULT_MODULES = (
+        "repro.sim.results",
+        "repro.sim.request",
+        "repro.harness.findings",
+        "repro.obs.profile",
+        "repro.validation.comparison",
+        "repro.validation.trends",
+        "repro.validation.sensitivity",
+        "repro.validation.tuning",
+        "repro.validation.bugs",
+    )
+
+    _FORBIDDEN = re.compile(
+        r"\b(TextIO|BinaryIO|IO\[|Engine|TraceRecorder|"
+        r"Iterator|Generator)\b")
+
+    def scope(self, module: str) -> bool:
+        return module in self.RESULT_MODULES
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        # Dataclass fields: annotated assignments directly in a class body.
+        if not isinstance(node, ast.AnnAssign):
+            return
+        if not isinstance(ctx.parent(), ast.ClassDef):
+            return
+        annotation = ast.unparse(node.annotation)
+        if self._FORBIDDEN.search(annotation):
+            ctx.report(self, node,
+                       f"unpicklable field type in a result dataclass: "
+                       f"{ctx.lines[node.lineno - 1].strip()}")
+
+    def runtime_roundtrip(self) -> List[str]:
+        """Build representative result objects and round-trip them."""
+        import pickle
+        from repro.common.config import TINY_SCALE
+        from repro.harness import run_experiment
+        from repro.sim.request import RunRequest
+        from repro.sim.configs import simos_mipsy
+        from repro.workloads import make_app
+
+        problems = []
+        request = RunRequest(simos_mipsy(150), make_app("fft", TINY_SCALE),
+                             n_cpus=1)
+        for name, obj in (
+            ("RunRequest", request),
+            ("RunResult", request.execute()),
+            ("ExperimentResult", run_experiment("table1", TINY_SCALE)),
+        ):
+            try:
+                clone = pickle.loads(pickle.dumps(obj))
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(f"{name} failed pickle round trip: {exc!r}")
+                continue
+            if name == "RunResult":
+                if clone != obj:
+                    problems.append("RunResult pickle round trip not equal")
+                if type(obj).from_dict(obj.to_dict()) != obj:
+                    problems.append("RunResult to_dict/from_dict not exact")
+        return problems
+
+    def finalize(self, run: RunContext) -> None:
+        if not run.runtime:
+            return
+        for problem in self.runtime_roundtrip():
+            run.report(self, path="src/repro/sim/results.py", line=1,
+                       qualname="repro.sim.results",
+                       message=problem)
+
+
+# ---------------------------------------------------------------------------
+# D1: hash-order-dependent set iteration
+# ---------------------------------------------------------------------------
+
+#: Consumers whose result does not depend on iteration order, so feeding
+#: them a set directly is deterministic.
+_ORDER_FREE_CONSUMERS = {"set", "frozenset", "sorted", "sum", "min", "max",
+                         "len", "any", "all", "Counter"}
+
+
+class SetIterationRule(Rule):
+    """No bare iteration over sets in simulator packages."""
+
+    id = "D1"
+    title = "set iteration in simulator code must be sorted"
+    rationale = (
+        "Set iteration order depends on element hashes; for str and most "
+        "object keys that order is salted per process (PYTHONHASHSEED), "
+        "and even for ints it depends on insertion history.  Any set "
+        "iteration whose order reaches event scheduling, message "
+        "ordering, or serialized state makes cycle counts and replay "
+        "digests process-dependent -- the exact property the "
+        "reproduction's bit-identical claims forbid.  Order-insensitive "
+        "reductions (sorted/set/frozenset/sum/min/max/len/any/all) are "
+        "exempt.")
+    hint = ("wrap the iterable in sorted(...) -- cycle counts must not "
+            "change; if they do, the iteration order was already "
+            "load-bearing and that is the bug")
+    subsystem = "simulator core"
+
+    def scope(self, module: str) -> bool:
+        return _in_packages(module, SIMULATOR_PACKAGES)
+
+    # -- collection --------------------------------------------------------
+
+    def _note_set_binding(self, ctx: FileContext, target: ast.AST,
+                          value: Optional[ast.AST],
+                          annotation: Optional[ast.AST]) -> None:
+        is_set = False
+        if value is not None:
+            if isinstance(value, (ast.Set, ast.SetComp)):
+                is_set = True
+            elif (isinstance(value, ast.Call)
+                  and isinstance(value.func, ast.Name)
+                  and value.func.id in ("set", "frozenset")):
+                is_set = True
+        if annotation is not None and not is_set:
+            text = ast.unparse(annotation)
+            if re.search(r"\b([Ff]rozen[Ss]et|Set|set)\[", text):
+                is_set = True
+        if not is_set:
+            return
+        scratch = ctx.run.scratch(self)
+        if isinstance(target, ast.Attribute):
+            # Any attribute assigned a set anywhere in the scanned tree:
+            # the attr name joins a tree-wide registry, so cross-module
+            # uses (entry.sharers in memsys over proto's DirEntry) match.
+            scratch.setdefault("set_attrs", set()).add(target.attr)
+        elif isinstance(target, ast.Name):
+            scratch.setdefault("set_names", set()).add(
+                (ctx.module, ctx.qualname, target.id))
+
+    def _exempt(self, ctx: FileContext, node: ast.AST) -> bool:
+        """Iteration feeding an order-insensitive consumer."""
+        if isinstance(node, ast.SetComp):
+            return True  # the output is itself unordered
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            parent = ctx.parent()
+            if (isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in _ORDER_FREE_CONSUMERS
+                    and parent.args and parent.args[0] is node):
+                return True
+        return False
+
+    def _candidate(self, ctx: FileContext, comp_or_for: ast.AST,
+                   iterable: ast.AST) -> None:
+        if isinstance(iterable, ast.Call) and isinstance(iterable.func,
+                                                         ast.Name):
+            if iterable.func.id == "sorted":
+                return
+            if iterable.func.id in ("set", "frozenset"):
+                if not self._exempt(ctx, comp_or_for):
+                    ctx.report(self, iterable,
+                               f"iteration over {iterable.func.id}(...) "
+                               "with order-dependent consumption")
+                return
+        if isinstance(iterable, ast.Set):
+            if not self._exempt(ctx, comp_or_for):
+                ctx.report(self, iterable,
+                           "iteration over a set literal with "
+                           "order-dependent consumption")
+            return
+        if self._exempt(ctx, comp_or_for):
+            return
+        scratch = ctx.run.scratch(self)
+        if isinstance(iterable, ast.Name):
+            scratch.setdefault("deferred", []).append({
+                "kind": "name", "ident": iterable.id,
+                "module": ctx.module, "scope": ctx.qualname,
+                "relpath": ctx.relpath, "line": iterable.lineno,
+                "qualname": ctx.qualname,
+                "display": ctx.lines[iterable.lineno - 1].strip(),
+            })
+        elif isinstance(iterable, ast.Attribute):
+            scratch.setdefault("deferred", []).append({
+                "kind": "attr", "ident": iterable.attr,
+                "module": ctx.module, "scope": ctx.qualname,
+                "relpath": ctx.relpath, "line": iterable.lineno,
+                "qualname": ctx.qualname,
+                "display": ctx.lines[iterable.lineno - 1].strip(),
+            })
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._note_set_binding(ctx, target, node.value, None)
+        elif isinstance(node, ast.AnnAssign):
+            self._note_set_binding(ctx, node.target, node.value,
+                                   node.annotation)
+        if isinstance(node, ast.For):
+            self._candidate(ctx, node, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                self._candidate(ctx, node, generator.iter)
+
+    def finalize(self, run: RunContext) -> None:
+        scratch = run.scratch(self)
+        set_attrs = scratch.get("set_attrs", set())
+        set_names = scratch.get("set_names", set())
+        for cand in scratch.get("deferred", []):
+            hit = False
+            if cand["kind"] == "attr":
+                hit = cand["ident"] in set_attrs
+            else:
+                hit = (((cand["module"], cand["scope"], cand["ident"])
+                        in set_names)
+                       or ((cand["module"], cand["module"], cand["ident"])
+                           in set_names))
+            if hit:
+                run.report(
+                    self, path=cand["relpath"], line=cand["line"],
+                    qualname=cand["qualname"],
+                    message=f"iteration over set-valued "
+                            f"`{cand['ident']}` with order-dependent "
+                            f"consumption: {cand['display']}")
+
+
+# ---------------------------------------------------------------------------
+# D2: ambient wall-clock / environment reads inside the machine
+# ---------------------------------------------------------------------------
+
+class AmbientReadRule(Rule):
+    """No wall-clock or environment reads inside simulator packages."""
+
+    id = "D2"
+    title = "no wall-clock or os.environ reads inside the simulated machine"
+    rationale = (
+        "The machine's only clock is the event calendar, and its only "
+        "configuration is the request.  A time.time/perf_counter/"
+        "datetime.now or os.environ read inside engine/cpu/mem/memsys/"
+        "proto/network/vm makes behaviour depend on the host process -- "
+        "two runs of the same request stop being comparable, and replay "
+        "digests stop being re-checkable.  Ambient configuration flows "
+        "through repro.common (slots, config objects) and wall time "
+        "belongs to the harness.")
+    hint = ("thread the value through the request/config (or a "
+            "repro.common slot installed by the harness); measure wall "
+            "time in repro.harness, never in the machine")
+    subsystem = "simulator core"
+
+    FORBIDDEN_CALLS = {
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "os.getenv", "os.environ.get",
+    }
+    FORBIDDEN_READS = {"os.environ", "os.environb"}
+
+    def scope(self, module: str) -> bool:
+        return _in_packages(module, AMBIENT_BANNED_PACKAGES)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            dotted = ctx.resolve(node.func)
+            if dotted in self.FORBIDDEN_CALLS:
+                ctx.report(self, node,
+                           f"ambient read {dotted}() inside the simulated "
+                           f"machine: {ctx.lines[node.lineno - 1].strip()}")
+        elif isinstance(node, ast.Attribute):
+            dotted = ctx.resolve(node)
+            if dotted in self.FORBIDDEN_READS:
+                ctx.report(self, node,
+                           f"ambient read of {dotted} inside the simulated "
+                           f"machine: {ctx.lines[node.lineno - 1].strip()}")
+        elif isinstance(node, ast.Name):
+            dotted = ctx.resolve(node)
+            if dotted in self.FORBIDDEN_CALLS | self.FORBIDDEN_READS:
+                ctx.report(self, node,
+                           f"ambient {dotted} reference inside the "
+                           "simulated machine: "
+                           f"{ctx.lines[node.lineno - 1].strip()}")
+
+
+# ---------------------------------------------------------------------------
+# D3: ambient-hook slot discipline
+# ---------------------------------------------------------------------------
+
+class HookSlotRule(Rule):
+    """Ambient hook slots are read into a local and guarded, never called
+    through the module attribute."""
+
+    id = "D3"
+    title = "hook slots: read into a local, guard, then call"
+    rationale = (
+        "The ambient slots (repro.obs.hooks.active/.topo, "
+        "repro.common.gate.active, repro.common.batch.active) can be "
+        "swapped between any two statements by a context manager in "
+        "another layer.  Calling through the module attribute "
+        "(`obs_hooks.active.record(...)`) re-reads the slot per use: it "
+        "crashes when the slot is None, tears when the slot changes "
+        "mid-sequence, and costs an extra attribute load per event.  The "
+        "sanctioned shape is one read into a local, one `is not None` "
+        "guard, then calls on the local.")
+    hint = ("hoist: `slot = obs_hooks.active` then "
+            "`if slot is not None: slot.method(...)`")
+    subsystem = "repro.obs / repro.common"
+
+    SLOTS = {
+        "repro.obs.hooks.active",
+        "repro.obs.hooks.topo",
+        "repro.common.gate.active",
+        "repro.common.batch.active",
+    }
+
+    def scope(self, module: str) -> bool:
+        return _in_packages(module, SIMULATOR_PACKAGES)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            return
+        dotted = ctx.resolve(node.func.value)
+        if dotted in self.SLOTS:
+            ctx.report(self, node,
+                       f"hook slot {dotted} called through the module "
+                       f"attribute: {ctx.lines[node.lineno - 1].strip()}")
+
+
+# ---------------------------------------------------------------------------
+# D4: id()-keyed ordering
+# ---------------------------------------------------------------------------
+
+class IdOrderingRule(Rule):
+    """No id()-derived keys or ordering of simulated objects."""
+
+    id = "D4"
+    title = "no id()-keyed ordering of simulated objects"
+    rationale = (
+        "id() is a memory address: unique per process, unstable across "
+        "processes, and reusable within one.  Keying, sorting, or "
+        "deduplicating simulated objects by id() produces orderings "
+        "that differ between the saving and restoring process, so "
+        "checkpoints and replays silently diverge.  Simulated objects "
+        "already carry stable identities (node index, chunk uid, name).")
+    hint = ("key by the object's stable identity -- node index, uid, "
+            "name -- never id()")
+    subsystem = "simulator core"
+
+    def scope(self, module: str) -> bool:
+        return _in_packages(module, SIMULATOR_PACKAGES)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        flagged = False
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "id" and "id" not in ctx.imports):
+            flagged = True
+        elif (isinstance(node, ast.keyword) and node.arg == "key"
+              and isinstance(node.value, ast.Name)
+              and node.value.id == "id"):
+            # sorted(xs, key=id) / xs.sort(key=id)
+            flagged = True
+        if flagged:
+            line = getattr(node, "lineno",
+                           getattr(node.value, "lineno", 1)
+                           if isinstance(node, ast.keyword) else 1)
+            ctx.report(self, line,
+                       f"id()-derived key on a simulated object: "
+                       f"{ctx.lines[line - 1].strip()}")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+REGISTRY: Tuple[Rule, ...] = (
+    HotPathGuardRule(),
+    ImportBanRule(),
+    CkptCoverageRule(),
+    LedgerSchemaRule(),
+    PicklabilityRule(),
+    SetIterationRule(),
+    AmbientReadRule(),
+    HookSlotRule(),
+    IdOrderingRule(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in REGISTRY}
+
+
+def select_rules(ids: Optional[Sequence[str]]) -> List[Rule]:
+    """The registry subset for *ids* (``None`` selects everything)."""
+    if ids is None:
+        return list(REGISTRY)
+    unknown = [i for i in ids if i not in RULES_BY_ID]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {', '.join(unknown)}; known: "
+            f"{', '.join(RULES_BY_ID)}")
+    return [RULES_BY_ID[i] for i in ids]

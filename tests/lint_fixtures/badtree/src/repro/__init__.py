@@ -1,0 +1,3 @@
+# Fixture mini-tree for tests/test_lint.py: mirrors the live package
+# layout so the registry's module-scoped rules apply unchanged.  Never
+# imported -- the lint engine only parses it.

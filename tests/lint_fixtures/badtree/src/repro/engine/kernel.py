@@ -1,0 +1,14 @@
+"""Seeded L1 violations: unguarded tracer calls in the hot path."""
+
+
+class EventKernel:
+    def dispatch(self, when, callback):
+        self.tracer.record(when, "engine", "cb")  # L1: no guard above
+        callback(when)
+
+    def dispatch_guarded(self, when, callback):
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(when, "engine",
+                          "cb")  # guarded: must NOT fire
+        callback(when)

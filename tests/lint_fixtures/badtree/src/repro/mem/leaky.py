@@ -1,0 +1,34 @@
+"""Seeded L2 (banned imports) and L3 (no ckpt_state) violations."""
+
+import repro.obs.metrics                  # L2: ledger in model code
+from repro.obs import topo                # L2: spatial recorder import
+from repro.ckpt import store              # L2: checkpoint subsystem
+from repro.fastpath import filter as _f   # L2: accelerator import
+from repro.obs import hooks as obs_hooks  # sanctioned: must NOT fire
+from repro.common.gate import CheckpointGate  # sanctioned: must NOT fire
+
+
+class LeakyBuffer:
+    """Stateful (dict attribute) but defines no ckpt_state."""
+
+    def __init__(self):
+        self.entries = {}          # L3: state outside the ckpt contract
+        self.pending = []
+
+
+class CoveredBuffer:
+    """Stateful but checkpointable: must NOT fire."""
+
+    def __init__(self):
+        self.entries = {}
+
+    def ckpt_state(self):
+        return {"entries": sorted(self.entries.items())}
+
+
+class InheritingBuffer(CoveredBuffer):
+    """Inherits ckpt_state through a scanned base: must NOT fire."""
+
+    def __init__(self):
+        super().__init__()
+        self.extra = {}

@@ -1,0 +1,18 @@
+"""Seeded L5 violations: unpicklable fields on result dataclasses."""
+
+from dataclasses import dataclass
+from typing import Iterator, TextIO
+
+
+@dataclass
+class BadResult:
+    name: str                    # plain data: must NOT fire
+    stream: TextIO               # L5: a stream cannot cross a process
+    remaining: Iterator          # L5: exhausted on pickle
+
+
+@dataclass
+class GoodResult:
+    name: str
+    cycles: int
+    attribution: dict

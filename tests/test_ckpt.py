@@ -18,12 +18,10 @@ This module pins that contract:
 * warm starts via the content-addressed store skip the initialization
   prefix; divergence bisection finds the first divergent event within
   its binary-search probe budget;
-* the coverage lint (``scripts/check_ckpt_coverage.py``) and the
-  hot-path import ban on ``repro.ckpt`` run in-suite, like the tracer
-  lint.
+* the coverage rule (L3 in ``repro.lint``) and the hot-path import ban
+  on ``repro.ckpt`` (L2) run in-suite, like the tracer lint.
 """
 
-import importlib.util
 import json
 import math
 import subprocess
@@ -51,8 +49,7 @@ from repro.sim import RunRequest, simos_mipsy
 from repro.workloads import TlbTimer, make_app
 
 REPO = Path(__file__).resolve().parent.parent
-COVERAGE_LINT = REPO / "scripts" / "check_ckpt_coverage.py"
-HOT_PATH_LINT = REPO / "scripts" / "check_no_tracer_in_hot_path.py"
+COVERAGE_SHIM = REPO / "scripts" / "check_ckpt_coverage.py"
 
 _SETTINGS = settings(max_examples=6, deadline=None,
                      suppress_health_check=[HealthCheck.too_slow])
@@ -516,45 +513,44 @@ class TestHarnessCliParity:
 # -- lint guards ----------------------------------------------------------
 
 
-def _load_script(path, name):
-    spec = importlib.util.spec_from_file_location(name, path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
 class TestLints:
-    def test_ckpt_coverage_lint_passes(self):
-        proc = subprocess.run(
-            [sys.executable, str(COVERAGE_LINT)],
-            capture_output=True, text=True)
-        assert proc.returncode == 0, proc.stdout + proc.stderr
+    def test_ckpt_coverage_rule_passes(self):
+        from repro.lint.engine import repo_root, run_lint
+        report = run_lint(repo_root(), rules=["L3"], runtime=False)
+        assert report.ok, report.format()
 
-    def test_hot_path_lint_passes(self):
+    def test_ckpt_import_ban_passes(self):
+        from repro.lint.engine import repo_root, run_lint
+        report = run_lint(repo_root(), rules=["L2"], runtime=False)
+        assert report.ok, report.format()
+
+    def test_legacy_coverage_script_is_a_delegating_shim(self):
         proc = subprocess.run(
-            [sys.executable, str(HOT_PATH_LINT)],
+            [sys.executable, str(COVERAGE_SHIM)],
             capture_output=True, text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
-        assert "no repro.ckpt imports" in proc.stdout
+        assert "repro.lint --rule L3" in proc.stderr
 
     def test_ckpt_import_ban_catches_violations(self, tmp_path):
-        lint = _load_script(HOT_PATH_LINT, "hot_path_lint")
-        bad = tmp_path / "bad.py"
+        from repro.lint.engine import run_lint
+        bad = tmp_path / "src" / "repro" / "mem" / "bad.py"
+        bad.parent.mkdir(parents=True)
         bad.write_text("from repro.ckpt import save\n"
                        "import repro.ckpt.store\n"
                        "from repro.common.gate import CheckpointGate\n")
-        violations = lint.check_ckpt_imports(bad)
-        assert len(violations) == 2  # the gate import is sanctioned
+        report = run_lint(tmp_path, rules=["L2"], runtime=False)
+        # The gate import is sanctioned; the two ckpt imports are not.
+        assert [v.line for v in report.violations] == [1, 2]
 
-    def test_coverage_lint_flags_uncovered_stateful_class(self, tmp_path):
-        lint = _load_script(COVERAGE_LINT, "coverage_lint")
+    def test_coverage_rule_flags_uncovered_stateful_class(self):
         import ast
+        from repro.lint.rules import _assigns_self_container
         tree = ast.parse("class Leaky:\n"
                          "    def __init__(self):\n"
                          "        self.entries = {}\n")
         fn = tree.body[0].body[0]
-        assert lint._assigns_self_container(fn)
+        assert _assigns_self_container(fn)
         covered = ast.parse("class Fine:\n"
                             "    def __init__(self):\n"
                             "        self.x = 3\n")
-        assert not lint._assigns_self_container(covered.body[0].body[0])
+        assert not _assigns_self_container(covered.body[0].body[0])

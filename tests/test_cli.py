@@ -24,16 +24,41 @@ def test_markdown_flag(tmp_path, capsys):
     assert "## table1" in target.read_text()
 
 
-def test_unknown_experiment_raises():
-    from repro.common.errors import ConfigurationError
-    with pytest.raises(ConfigurationError):
+def test_unknown_experiment_exits_2_with_usage(capsys):
+    with pytest.raises(SystemExit) as exc:
         main(["fig42"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig42'" in err
+    assert "usage:" in err
 
 
-def test_unknown_scale_raises():
-    from repro.common.errors import ConfigurationError
-    with pytest.raises(ConfigurationError):
+def test_unknown_scale_exits_2_with_usage(capsys):
+    with pytest.raises(SystemExit) as exc:
         main(["table1", "--scale", "galactic"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown scale 'galactic'" in err
+    assert "usage:" in err
+
+
+@pytest.mark.parametrize("entry,argv", [
+    ("repro.harness.runner", ["frobnicate"]),
+    ("repro.obs.cli", ["frobnicate"]),
+    ("repro.ckpt.cli", ["frobnicate"]),
+    ("repro.lint.cli", ["--rule", "Z9"]),
+])
+def test_every_cli_exits_2_with_usage_on_unknown_input(entry, argv,
+                                                       capsys):
+    # The shared contract: a bad subcommand/selector is a usage error
+    # (exit 2, message on stderr), never a traceback.
+    import importlib
+    cli_main = importlib.import_module(entry).main
+    with pytest.raises(SystemExit) as exc:
+        cli_main(argv)
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err or "invalid choice" in err
 
 
 @pytest.mark.parametrize("jobs", ["0", "-3"])

@@ -9,11 +9,10 @@ that contract:
 * serial execution, a ``jobs=2`` pool, and cache-hit replay of the same
   batch produce identical :class:`RunResult` payloads;
 * every experiment's result survives a process boundary (pickle), with
-  the ``scripts/check_runresult_picklable.py`` guard run in-suite the
-  same way the hot-path tracer lint is.
+  the picklability rule (L5 in ``repro.lint``) run in-suite the same
+  way the hot-path tracer lint is.
 """
 
-import importlib.util
 import pickle
 import subprocess
 import sys
@@ -31,7 +30,7 @@ from repro.sim import farm_hooks
 from repro.workloads import make_app
 
 REPO = Path(__file__).resolve().parent.parent
-GUARD = REPO / "scripts" / "check_runresult_picklable.py"
+GUARD_SHIM = REPO / "scripts" / "check_runresult_picklable.py"
 
 #: Experiments whose microbenchmarks need a realistically sized L2 (the
 #: pointer chase does not fit the tiny scale's cache).
@@ -212,20 +211,23 @@ class TestPicklableGuard:
     """Satellite 6: the picklability guard, wired like the hot-path lint."""
 
     def test_current_tree_is_clean(self):
-        proc = subprocess.run(
-            [sys.executable, str(GUARD)], capture_output=True, text=True)
-        assert proc.returncode == 0, proc.stdout + proc.stderr
-        assert "all result objects picklable" in proc.stdout
+        from repro.lint.engine import repo_root, run_lint
+        # runtime=True: the static annotation scan plus the live pickle
+        # round trip of RunRequest/RunResult/ExperimentResult.
+        report = run_lint(repo_root(), rules=["L5"], runtime=True)
+        assert report.ok, report.format()
 
-    def _load_guard(self):
-        spec = importlib.util.spec_from_file_location("pickle_guard", GUARD)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
-        return module
+    def test_legacy_script_is_a_delegating_shim(self):
+        proc = subprocess.run(
+            [sys.executable, str(GUARD_SHIM)], capture_output=True,
+            text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.lint --rule L5" in proc.stderr
 
     def test_detects_stream_field(self, tmp_path):
-        guard = self._load_guard()
-        bad = tmp_path / "results.py"
+        from repro.lint.engine import run_lint
+        bad = tmp_path / "src" / "repro" / "sim" / "results.py"
+        bad.parent.mkdir(parents=True)
         bad.write_text(
             "@dataclass\n"
             "class R:\n"
@@ -233,13 +235,14 @@ class TestPicklableGuard:
             "    stream: TextIO\n"
             "    engine: Engine = None\n"
         )
-        violations = guard.check_file(bad)
-        assert [line for line, _ in violations] == [4, 5]
+        report = run_lint(tmp_path, rules=["L5"], runtime=False)
+        assert [v.line for v in report.violations] == [4, 5]
 
     def test_result_modules_covered(self):
-        guard = self._load_guard()
-        assert "src/repro/sim/results.py" in guard.RESULT_MODULES
-        assert "src/repro/harness/findings.py" in guard.RESULT_MODULES
+        from repro.lint.rules import RULES_BY_ID
+        modules = RULES_BY_ID["L5"].RESULT_MODULES
+        assert "repro.sim.results" in modules
+        assert "repro.harness.findings" in modules
 
 
 @pytest.mark.slow

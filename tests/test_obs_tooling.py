@@ -1,141 +1,152 @@
 """The observability tooling gates, run as part of the suite.
 
-* the hot-path lint (`scripts/check_no_tracer_in_hot_path.py`) must pass
-  against the current tree and must actually detect violations -- both
-  unguarded tracer calls and metrics-ledger imports in the models;
-* the metrics-schema check (`scripts/check_metrics_schema.py`) must pass
-  and must actually detect contract breaks;
+* the hot-path guard and import-ban rules (L1/L2 in ``repro.lint``)
+  must pass against the current tree and must actually detect
+  violations -- both unguarded tracer calls and metrics-ledger imports
+  in the models;
+* the metrics-schema rule (L4) must pass and must actually detect
+  contract breaks;
+* the legacy ``scripts/check_*.py`` entry points still work (as
+  deprecation shims over the registry);
 * the overhead benchmark must import and expose its budgets (the timed
   run itself lives in ``benchmarks/bench_obs_overhead.py``, marked slow).
 """
 
-import importlib.util
 import subprocess
 import sys
 from pathlib import Path
 
+from repro.lint.engine import repo_root, run_lint
+from repro.lint.rules import RULES_BY_ID
+
 REPO = Path(__file__).resolve().parent.parent
-LINT = REPO / "scripts" / "check_no_tracer_in_hot_path.py"
-SCHEMA_CHECK = REPO / "scripts" / "check_metrics_schema.py"
+LINT_SHIM = REPO / "scripts" / "check_no_tracer_in_hot_path.py"
+SCHEMA_SHIM = REPO / "scripts" / "check_metrics_schema.py"
 
 
-def _load_script(path, name):
-    spec = importlib.util.spec_from_file_location(name, path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
-def _load_lint_module():
-    return _load_script(LINT, "tracer_lint")
+def lint_tree(tmp_path, files, rules):
+    """Run the registry subset over a throwaway src tree."""
+    for rel, body in files.items():
+        path = tmp_path / "src" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+    return run_lint(tmp_path, rules=rules, runtime=False)
 
 
 class TestHotPathLint:
     def test_current_tree_is_clean(self):
+        report = run_lint(repo_root(), rules=["L1", "L2"], runtime=False)
+        assert report.ok, report.format()
+
+    def test_legacy_script_is_a_delegating_shim(self):
         proc = subprocess.run(
-            [sys.executable, str(LINT)], capture_output=True, text=True)
+            [sys.executable, str(LINT_SHIM)], capture_output=True,
+            text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
-        assert "all tracer calls guarded" in proc.stdout
+        assert "deprecated" in proc.stderr
+        assert "repro.lint --rule L1,L2" in proc.stderr
 
     def test_detects_unguarded_call(self, tmp_path):
-        lint = _load_lint_module()
-        bad = tmp_path / "hot.py"
-        bad.write_text(
-            "def step(self):\n"
-            "    self.tracer.record(0, 'engine', 'cb')\n"
-        )
-        violations = lint.check_file(bad)
-        assert len(violations) == 1
-        assert violations[0][0] == 2
+        report = lint_tree(tmp_path, {
+            "repro/engine/kernel.py":
+                "def step(self):\n"
+                "    self.tracer.record(0, 'engine', 'cb')\n",
+        }, rules=["L1"])
+        assert [v.line for v in report.violations] == [2]
 
     def test_accepts_guarded_call(self, tmp_path):
-        lint = _load_lint_module()
-        good = tmp_path / "hot.py"
-        good.write_text(
-            "def step(self):\n"
-            "    tracer = self.tracer\n"
-            "    if tracer is not None:\n"
-            "        tracer.record(0, 'engine',\n"
-            "                      'cb')\n"
-        )
-        assert lint.check_file(good) == []
+        report = lint_tree(tmp_path, {
+            "repro/engine/kernel.py":
+                "def step(self):\n"
+                "    tracer = self.tracer\n"
+                "    if tracer is not None:\n"
+                "        tracer.record(0, 'engine',\n"
+                "                      'cb')\n",
+        }, rules=["L1"])
+        assert report.ok
 
     def test_engine_kernel_is_covered(self):
-        lint = _load_lint_module()
-        assert "src/repro/engine/kernel.py" in lint.HOT_PATH_FILES
+        assert "repro.engine.kernel" in RULES_BY_ID["L1"].HOT_PATH_MODULES
 
     def test_model_directories_are_covered(self):
-        lint = _load_lint_module()
-        assert set(lint.HOT_PATH_DIRS) == {
-            "src/repro/cpu", "src/repro/mem", "src/repro/engine"}
+        bans = {banned: set(packages)
+                for banned, packages, _why in RULES_BY_ID["L2"].BANS}
+        assert bans["repro.obs.metrics"] == {
+            "repro.cpu", "repro.mem", "repro.engine"}
 
     def test_detects_metrics_import_in_models(self, tmp_path):
-        lint = _load_lint_module()
         for line in ("from repro.obs import metrics",
                      "from repro.obs.metrics import MetricsWriter",
                      "import repro.obs.metrics",
                      "from repro.obs import metrics as _m"):
-            bad = tmp_path / "model.py"
-            bad.write_text(f"{line}\n")
-            assert lint.check_metrics_imports(bad), line
+            report = lint_tree(tmp_path, {"repro/mem/model.py": f"{line}\n"},
+                               rules=["L2"])
+            assert not report.ok, line
 
     def test_accepts_hooks_import_in_models(self, tmp_path):
         # Only the ledger is banned; the guarded tracer hook is the
         # sanctioned channel.
-        lint = _load_lint_module()
-        ok = tmp_path / "model.py"
-        ok.write_text("from repro.obs import hooks\n"
-                      "from repro.obs.hooks import ATTRIBUTED\n")
-        assert lint.check_metrics_imports(ok) == []
+        report = lint_tree(tmp_path, {
+            "repro/mem/model.py":
+                "from repro.obs import hooks\n"
+                "from repro.obs.hooks import ATTRIBUTED\n",
+        }, rules=["L2"])
+        assert report.ok
 
     def test_topo_ban_covers_spatial_model_directories(self):
         # The spatial recorder's hook sites live in memsys/ and network/
         # too, so the topo import ban is wider than the metrics one.
-        lint = _load_lint_module()
-        assert set(lint.TOPO_BANNED_DIRS) == {
-            "src/repro/cpu", "src/repro/mem", "src/repro/engine",
-            "src/repro/memsys", "src/repro/network"}
-        assert set(lint.HOT_PATH_DIRS) <= set(lint.TOPO_BANNED_DIRS)
+        bans = {banned: set(packages)
+                for banned, packages, _why in RULES_BY_ID["L2"].BANS}
+        assert bans["repro.obs.topo"] == {
+            "repro.cpu", "repro.mem", "repro.engine", "repro.memsys",
+            "repro.network"}
+        assert bans["repro.obs.metrics"] <= bans["repro.obs.topo"]
 
     def test_detects_topo_import_in_models(self, tmp_path):
-        lint = _load_lint_module()
         for line in ("from repro.obs import topo",
                      "from repro.obs.topo import TopoRecorder",
                      "import repro.obs.topo",
                      "from repro.obs import topo as obs_topo"):
-            bad = tmp_path / "model.py"
-            bad.write_text(f"{line}\n")
-            assert lint.check_topo_imports(bad), line
+            report = lint_tree(tmp_path,
+                               {"repro/memsys/model.py": f"{line}\n"},
+                               rules=["L2"])
+            assert not report.ok, line
 
     def test_accepts_topo_slot_use_in_models(self, tmp_path):
         # The sanctioned channel: read the hooks.topo slot behind a guard.
-        lint = _load_lint_module()
-        ok = tmp_path / "model.py"
-        ok.write_text("from repro.obs import hooks as obs_hooks\n"
-                      "topo = obs_hooks.topo\n"
-                      "if topo is not None:\n"
-                      "    topo.count_access(0, 0, 0, 'read', 0)\n")
-        assert lint.check_topo_imports(ok) == []
+        report = lint_tree(tmp_path, {
+            "repro/memsys/model.py":
+                "from repro.obs import hooks as obs_hooks\n"
+                "def count(home):\n"
+                "    topo = obs_hooks.topo\n"
+                "    if topo is not None:\n"
+                "        topo.count_access(0, 0, 0, 'read', 0)\n",
+        }, rules=["L2"])
+        assert report.ok
 
 
 class TestMetricsSchemaCheck:
     def test_current_contract_holds(self):
+        rule = RULES_BY_ID["L4"]
+        assert rule.check_frozen() == []
+        assert rule.check_roundtrip() == []
+
+    def test_legacy_script_is_a_delegating_shim(self):
         proc = subprocess.run(
-            [sys.executable, str(SCHEMA_CHECK)], capture_output=True,
+            [sys.executable, str(SCHEMA_SHIM)], capture_output=True,
             text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
-        assert "round-trip stable" in proc.stdout
+        assert "deprecated" in proc.stderr
 
     def test_detects_unbumped_schema_change(self, monkeypatch):
-        check = _load_script(SCHEMA_CHECK, "schema_check")
         from repro.obs import metrics
         monkeypatch.setitem(metrics.LEDGER_SCHEMA, "new_field", (str, False))
-        problems = check.check_frozen()
+        problems = RULES_BY_ID["L4"].check_frozen()
         assert any("new_field" in p for p in problems)
 
     def test_detects_lost_rejections(self):
-        check = _load_script(SCHEMA_CHECK, "schema_check")
-        assert check.check_rejections() == []
+        assert RULES_BY_ID["L4"].check_rejections() == []
 
 
 class TestOverheadBench:

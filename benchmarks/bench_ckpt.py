@@ -22,8 +22,10 @@ import time
 
 import pytest
 
+from conftest import emit_bench
 from repro import ckpt
 from repro.common.config import REPRO_SCALE, TINY_SCALE
+from repro.obs.perf import BenchRecord, make_case
 from repro.sim import RunRequest, simos_mipsy
 from repro.workloads import TlbTimer, make_app
 
@@ -64,6 +66,20 @@ def test_checkpoint_cost_and_size():
     print(f"  restore by replay+verify:  {replay_s:.2f}s")
 
     assert machine.env.events_processed == skipped
+    emit_bench("ckpt", [
+        BenchRecord(bench="ckpt",
+                    case=make_case("fft", "simos-mipsy-150", 1, "tiny",
+                                   "ckpt-save"),
+                    wall_s=save_s, events=skipped),
+        BenchRecord(bench="ckpt",
+                    case=make_case("fft", "simos-mipsy-150", 1, "tiny",
+                                   "ckpt-inject"),
+                    wall_s=inject_s),
+        BenchRecord(bench="ckpt",
+                    case=make_case("fft", "simos-mipsy-150", 1, "tiny",
+                                   "ckpt-replay"),
+                    wall_s=replay_s, events=skipped),
+    ])
     # Injection must not pay for the skipped prefix the way replay does.
     assert inject_s < replay_s, (
         f"injection ({inject_s:.3f}s) should beat replay ({replay_s:.3f}s)")
@@ -116,6 +132,16 @@ def test_warm_start_speedup(tmp_path):
     assert skipped > 0
     machine = ckpt.restore(checkpoint, method="inject")
     assert machine.env.events_processed == skipped
+    emit_bench("ckpt", [
+        BenchRecord(bench="ckpt",
+                    case=make_case("tlb-refill", "simos-mipsy-150", 1,
+                                   "repro", f"cold-x{REPEATS}"),
+                    wall_s=cold_s),
+        BenchRecord(bench="ckpt",
+                    case=make_case("tlb-refill", "simos-mipsy-150", 1,
+                                   "repro", f"warm-x{REPEATS}"),
+                    wall_s=warm_s, speedup=speedup),
+    ])
     assert speedup >= MIN_WARM_SPEEDUP, (
         f"warm start only {speedup:.1f}x faster "
         f"(need >= {MIN_WARM_SPEEDUP}x)")

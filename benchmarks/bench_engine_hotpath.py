@@ -15,10 +15,15 @@ Two measurements, both asserting bit-identical ``RunResult``s:
   gate here is honesty, not speed: fast mode must never be slower than
   :data:`MAX_APP_SLOWDOWN` of the reference (the filter's probe cost is
   bounded because a failed window hands the whole leading run of slow
-  rows back to the scalar path).
+  rows back to the scalar path).  Reference and fast repeats are
+  interleaved so host drift cancels out of the ratio instead of landing
+  on one side of it.
 
-Committed output lives in ``benchmarks/logs/bench_engine_hotpath.log``.
-Run with::
+Committed output lives in ``benchmarks/logs/bench_engine_hotpath.log``;
+the headline numbers (wall time, events/sec, batch fraction, fallback
+reasons) are folded into the committed perf ledger
+``benchmarks/BENCH_engine_hotpath.json``, the baseline
+``python -m repro.obs perf`` diffs against.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_hotpath.py -m slow -s
 """
@@ -29,11 +34,13 @@ import time
 
 import pytest
 
+from conftest import emit_bench
 from repro import fastpath
 from repro.common.config import get_scale
 from repro.fastpath.filter import BatchFilter
+from repro.obs.perf import PerfProfiler, make_case, profiling, run_record
 from repro.sim.configs import get_config
-from repro.sim.machine import run_workload
+from repro.sim.machine import Machine
 from repro.workloads import make_app
 from repro.workloads.hotloop import HotLoopWorkload
 
@@ -47,26 +54,45 @@ APP_CONFIGS = ("simos-mipsy-150", "hardware")
 APPS = ("fft", "radix", "lu", "ocean")
 
 
-def _timed(make_workload, config, scale, mode, repeats=2):
-    """Best-of-N wall time for one run; returns (seconds, result, filter)."""
-    best, result, filt = None, None, None
+def _run_once(make_workload, config, scale, mode):
+    """One timed run; returns ``(seconds, result, filter, events)``.
+
+    The engine's event count feeds the BENCH ledger's events/sec metric.
+    """
+    workload = make_workload()
+    machine = Machine(config, 1, scale)
+    if mode == "fast":
+        filt = BatchFilter()
+        start = time.perf_counter()
+        with fastpath.enabled(filt):
+            result = machine.run(workload)
+        elapsed = time.perf_counter() - start
+    else:
+        filt = None
+        start = time.perf_counter()
+        with fastpath.disabled():
+            result = machine.run(workload)
+        elapsed = time.perf_counter() - start
+    return elapsed, result, filt, machine.env.events_processed
+
+
+def _timed_pair(make_workload, config, scale, repeats=2):
+    """Interleaved best-of-N wall times for the ref and fast modes.
+
+    The modes alternate within each repeat so both bests are sampled
+    from the same slice of host conditions.  Timing one mode's repeats
+    back-to-back and then the other's lets slow host drift (frequency
+    scaling, competing load) land entirely on one side of the ratio and
+    trip the honesty gate with no code change behind it.  Returns
+    ``{mode: (seconds, result, filter, events)}``.
+    """
+    best = {}
     for _ in range(repeats):
-        workload = make_workload()
-        if mode == "fast":
-            f = BatchFilter()
-            start = time.perf_counter()
-            with fastpath.enabled(f):
-                r = run_workload(config, workload, 1, scale)
-            elapsed = time.perf_counter() - start
-        else:
-            f = None
-            start = time.perf_counter()
-            with fastpath.disabled():
-                r = run_workload(config, workload, 1, scale)
-            elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best, result, filt = elapsed, r, f
-    return best, result, filt
+        for mode in ("ref", "fast"):
+            sample = _run_once(make_workload, config, scale, mode)
+            if mode not in best or sample[0] < best[mode][0]:
+                best[mode] = sample
+    return best
 
 
 @pytest.mark.slow
@@ -74,8 +100,9 @@ def test_hot_loop_speedup():
     scale = get_scale("repro")
     config = get_config("simos-mipsy-150")
     make = lambda: HotLoopWorkload(scale)
-    t_ref, r_ref, _ = _timed(make, config, scale, "ref")
-    t_fast, r_fast, filt = _timed(make, config, scale, "fast")
+    best = _timed_pair(make, config, scale)
+    t_ref, r_ref, _, e_ref = best["ref"]
+    t_fast, r_fast, filt, e_fast = best["fast"]
     speedup = t_ref / t_fast
     print()
     print(f"hotloop@repro reference: {t_ref * 1e3:7.1f} ms")
@@ -85,6 +112,14 @@ def test_hot_loop_speedup():
     assert r_ref.to_dict() == r_fast.to_dict(), (
         "batched hot-loop run diverged from the reference"
     )
+    emit_bench("engine_hotpath", [
+        run_record("engine_hotpath",
+                   make_case("hotloop", config.name, 1, scale.name, "ref"),
+                   t_ref, result=r_ref, events=e_ref),
+        run_record("engine_hotpath",
+                   make_case("hotloop", config.name, 1, scale.name, "fast"),
+                   t_fast, result=r_fast, events=e_fast, speedup=speedup),
+    ])
     assert speedup >= MIN_HOT_SPEEDUP, (
         f"hot-loop speedup {speedup:.2f}x is below the "
         f"{MIN_HOT_SPEEDUP}x acceptance gate"
@@ -96,26 +131,75 @@ def test_application_runs_honest():
     scale = get_scale("repro")
     print()
     worst = 0.0
+    records = []
     for config_name in APP_CONFIGS:
         config = get_config(config_name)
         for app in APPS:
             make = lambda: make_app(app, scale)
-            t_ref, r_ref, _ = _timed(make, config, scale, "ref")
-            t_fast, r_fast, filt = _timed(make, config, scale, "fast")
+            # Three interleaved repeats per mode: single lu/fft runs vary
+            # by ~30% on a loaded host, so best-of-2 can trip the gate on
+            # noise alone.
+            best = _timed_pair(make, config, scale, repeats=3)
+            t_ref, r_ref, _, e_ref = best["ref"]
+            t_fast, r_fast, filt, e_fast = best["fast"]
             ratio = t_ref / t_fast
             worst = max(worst, t_fast / t_ref)
             print(f"{app:5s} @ {config_name:15s} "
                   f"ref {t_ref * 1e3:7.1f} ms  fast {t_fast * 1e3:7.1f} ms "
-                  f"({ratio:4.2f}x, fallback {filt.fallback_rate():6.1%})")
+                  f"({ratio:4.2f}x, fallback {filt.fallback_rate():6.1%}, "
+                  f"dominant {filt.dominant_reason() or 'none'})")
             assert r_ref.to_dict() == r_fast.to_dict(), (
                 f"{app}@{config_name}: batched run diverged from reference"
             )
+            records.append(run_record(
+                "engine_hotpath",
+                make_case(app, config_name, 1, scale.name, "ref"),
+                t_ref, result=r_ref, events=e_ref))
+            records.append(run_record(
+                "engine_hotpath",
+                make_case(app, config_name, 1, scale.name, "fast"),
+                t_fast, result=r_fast, events=e_fast, speedup=ratio))
+    emit_bench("engine_hotpath", records)
     assert worst <= MAX_APP_SLOWDOWN, (
         f"streaming runs pay {worst:.2f}x with the fast path on, "
         f"budget is {MAX_APP_SLOWDOWN}x"
     )
 
 
+@pytest.mark.slow
+def test_perf_smoke_baseline():
+    """Seed the tiny-fft case the tier-1 matrix perf-smoke gates against.
+
+    ``scripts/run_tier1_matrix.sh`` runs ``python -m repro.obs perf fft
+    --config simos-mipsy-150 --scale tiny --baseline
+    benchmarks/BENCH_engine_hotpath.json``; the diff matches records by
+    case string, so this test must emit exactly that case.  The record's
+    wall time is the unprofiled best-of-N; the host-phase breakdown
+    comes from one extra profiled run (its own wall clock travels inside
+    ``host_phases``), so the headline timing never pays for profiling.
+    """
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150")
+    make = lambda: make_app("fft", scale)
+    t_fast, r_fast, _filt, events = min(
+        (_run_once(make, config, scale, "fast") for _ in range(2)),
+        key=lambda sample: sample[0])
+    profiler = PerfProfiler()
+    machine = Machine(config, 1, scale)
+    with fastpath.enabled():
+        with profiling(profiler):
+            machine.run(make())
+    record = run_record(
+        "engine_hotpath",
+        make_case("fft", config.name, 1, scale.name, "fast"),
+        t_fast, result=r_fast, events=events, profiler=profiler)
+    assert record.batch_fraction is not None
+    assert record.fallback_reasons, "smoke case lost its reason histogram"
+    assert record.host_phases, "profiled run produced no phase breakdown"
+    emit_bench("engine_hotpath", [record])
+
+
 if __name__ == "__main__":
     test_hot_loop_speedup()
     test_application_runs_honest()
+    test_perf_smoke_baseline()

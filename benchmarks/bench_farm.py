@@ -16,8 +16,10 @@ import time
 
 import pytest
 
+from conftest import emit_bench
 from repro.common.config import TINY_SCALE
 from repro.harness import Farm, ResultCache, run_experiment
+from repro.obs.perf import BenchRecord, make_case
 
 #: Required warm-over-cold speedup from cached replay (acceptance: >= 3x).
 MIN_CACHE_SPEEDUP = 3.0
@@ -51,6 +53,16 @@ def test_farm_cache_speedup(tmp_path):
             == [f.to_dict() for f in cold.findings])
     assert warm_farm.hits == int(warm_farm.counters.get("requests"))
     assert int(warm_farm.counters.get("executed")) == 0
+    emit_bench("farm", [
+        BenchRecord(bench="farm",
+                    case=make_case(BENCH_EXPERIMENT, "farm-jobs2", 2,
+                                   "tiny", "cold"),
+                    wall_s=cold_s),
+        BenchRecord(bench="farm",
+                    case=make_case(BENCH_EXPERIMENT, "farm-jobs2", 2,
+                                   "tiny", "warm"),
+                    wall_s=warm_s, speedup=speedup),
+    ])
     assert speedup >= MIN_CACHE_SPEEDUP, (
         f"warm cache run only {speedup:.1f}x faster "
         f"(need >= {MIN_CACHE_SPEEDUP}x)")

@@ -14,6 +14,10 @@ observability acceptance gate):
 * **disabled topo path** -- the spatial recorder's hooks follow the same
   contract through the ``repro.obs.hooks.topo`` slot; its projected
   disabled-mode share of the run must also stay within the noise budget.
+* **disabled perf path** -- the host-phase profiler's brackets
+  (``repro.obs.hooks.perf``) guard the engine's dispatch loop, calendar
+  pushes and the scalar row path.  Profiling off is the default on every
+  measured run, so its guards are held to the same 5% projection budget.
 
 Runs under pytest (``pytest benchmarks/bench_obs_overhead.py -s``; marked
 ``slow``) or directly (``python benchmarks/bench_obs_overhead.py``).
@@ -30,7 +34,7 @@ from repro.obs import hooks as obs_hooks
 from repro.obs import topo as obs_topo
 from repro.obs.trace import TraceRecorder
 from repro.sim.configs import get_config
-from repro.sim.machine import run_workload
+from repro.sim.machine import Machine, run_workload
 from repro.workloads import make_app
 
 #: Enabled run may cost at most this factor over the disabled run.
@@ -41,6 +45,10 @@ MAX_DISABLED_OVERHEAD = 0.05
 #: span is recorded behind exactly one guard, and hit-path guards that
 #: record nothing are at most a handful per span-producing event.
 GUARDS_PER_SPAN = 8.0
+#: Perf guards executed per engine event: one in the calendar push, one
+#: in the dispatch loop, and (amortised) at most one on the row path --
+#: row-segment guards fire once per CPU timeslice, not once per row.
+PERF_GUARDS_PER_EVENT = 3.0
 
 
 def _reference_run(tracer=None):
@@ -80,6 +88,27 @@ def _time_topo_guard(iterations: int = 1_000_000) -> float:
     return elapsed / iterations
 
 
+def _time_perf_guard(iterations: int = 1_000_000) -> float:
+    """Seconds per disabled perf guard -- the identical slot pattern."""
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if obs_hooks.perf is not None:  # the disabled fast path
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed / iterations
+
+
+def _event_count() -> int:
+    """Engine events one reference run processes."""
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150-tuned")
+    machine = Machine(config, 2, scale)
+    machine.run(make_app("ocean", scale))
+    return machine.env.events_processed
+
+
 def _topo_event_count() -> int:
     """Counting-hook invocations one reference run generates."""
     scale = get_scale("tiny")
@@ -94,6 +123,7 @@ def _topo_event_count() -> int:
 def measure():
     assert obs_hooks.active is None, "benchmark requires tracing disabled"
     assert obs_hooks.topo is None, "benchmark requires topo disabled"
+    assert obs_hooks.perf is None, "benchmark requires profiling disabled"
     t_off = min(_reference_run() for _ in range(3))
     recorder = TraceRecorder(capacity=4096)
     t_on = min(
@@ -107,6 +137,9 @@ def measure():
     # Every topo counting site is one guard; with topo disabled the sites
     # cost exactly the guard, so the projection needs no extra factor.
     topo_projected = topo_events * topo_guard_s
+    perf_guard_s = _time_perf_guard()
+    events = _event_count()
+    perf_projected = events * PERF_GUARDS_PER_EVENT * perf_guard_s
     return {
         "t_off_s": t_off,
         "t_on_s": t_on,
@@ -117,6 +150,9 @@ def measure():
         "topo_guard_ns": topo_guard_s * 1e9,
         "topo_events": topo_events,
         "topo_disabled_overhead_fraction": topo_projected / t_off,
+        "perf_guard_ns": perf_guard_s * 1e9,
+        "events": events,
+        "perf_disabled_overhead_fraction": perf_projected / t_off,
     }
 
 
@@ -132,11 +168,17 @@ def test_obs_overhead():
     print(f"topo guard : {m['topo_guard_ns']:8.1f} ns "
           f"({m['topo_events']} events/run -> projected disabled overhead "
           f"{100 * m['topo_disabled_overhead_fraction']:.2f}%)")
+    print(f"perf guard : {m['perf_guard_ns']:8.1f} ns "
+          f"({m['events']} events/run -> projected disabled overhead "
+          f"{100 * m['perf_disabled_overhead_fraction']:.2f}%)")
     assert m["disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
         "disabled-tracer guards exceed the 5% budget on the reference run"
     )
     assert m["topo_disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
         "disabled-topo guards exceed the 5% budget on the reference run"
+    )
+    assert m["perf_disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-perf guards exceed the 5% budget on the reference run"
     )
     assert m["ratio"] <= MAX_ENABLED_RATIO, (
         f"enabled tracing costs {m['ratio']:.2f}x, "

@@ -30,4 +30,14 @@ for mode in 0 1; do
     echo "=== tier-1 with REPRO_FASTPATH=$mode ==="
     REPRO_FASTPATH=$mode PYTHONPATH=src python -m pytest -x -q "$@"
 done
+
+# Perf smoke (report-only): one profiled tiny run diffed against the
+# committed BENCH ledger.  A regression prints its report but does not
+# fail the matrix -- wall clocks on shared CI boxes are too noisy for a
+# hard gate; drop --report-only in a dedicated perf lane to enforce it.
+echo "=== perf smoke: python -m repro.obs perf fft (report-only) ==="
+PYTHONPATH=src python -m repro.obs perf fft --config simos-mipsy-150 \
+    --scale tiny --baseline benchmarks/BENCH_engine_hotpath.json \
+    --report-only
+
 echo "=== tier-1 matrix: both modes passed ==="

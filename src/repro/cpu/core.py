@@ -164,8 +164,18 @@ class CpuCore:
         """
         fast = batch_hooks.active
         if fast is None or self.iface is None:
+            perf = obs_hooks.perf
+            if perf is None:
+                for row in ce.addrs.tolist():
+                    yield from exec_row(row)
+                return
+            t0 = perf.begin()
             for row in ce.addrs.tolist():
                 yield from exec_row(row)
+            # Inclusive host time: the segment spans every engine dispatch
+            # its memory events trigger while a row blocks (see
+            # repro.obs.perf -- phases are overlapping views).
+            perf.commit("cpu.rows_scalar", t0, ce.reps)
             return
         addrs = ce.addrs
         n_rows = ce.reps
@@ -179,8 +189,15 @@ class CpuCore:
             i += n_fast
             if n_scalar:
                 stop = i + n_scalar
-                for row in addrs[i:stop].tolist():
-                    yield from exec_row(row)
+                perf = obs_hooks.perf
+                if perf is None:
+                    for row in addrs[i:stop].tolist():
+                        yield from exec_row(row)
+                else:
+                    t0 = perf.begin()
+                    for row in addrs[i:stop].tolist():
+                        yield from exec_row(row)
+                    perf.commit("cpu.rows_scalar", t0, n_scalar)
                 i = stop
 
     def _drain_writes(self):

@@ -21,6 +21,7 @@ from typing import Any, Callable, Generator, Optional
 from repro.common import batch as batch_hooks
 from repro.common.errors import SimulationError
 from repro.engine.events import AllOf, AnyOf, Event, Timeout
+from repro.obs import hooks as obs_hooks
 
 ProcessGen = Generator[Event, Any, Any]
 
@@ -100,6 +101,12 @@ class Engine:
                 f"scheduling into the past: {when_ps} < now {self.now}"
             )
         self._seq += 1
+        perf = obs_hooks.perf
+        if perf is not None:
+            t0 = perf.begin()
+            heapq.heappush(self._heap, (when_ps, self._seq, fn, arg))
+            perf.commit("engine.calendar", t0)
+            return
         heapq.heappush(self._heap, (when_ps, self._seq, fn, arg))
 
     def _dispatch(self, fn: Callable, arg: Any) -> None:
@@ -146,6 +153,13 @@ class Engine:
         if tracer is not None:
             tracer.record(when, "engine",
                           getattr(fn, "__qualname__", "callback"))
+        perf = obs_hooks.perf
+        if perf is not None:
+            t0 = perf.begin()
+            fn(arg)
+            self._drain_dispatch()
+            perf.commit("engine.dispatch", t0)
+            return True
         fn(arg)
         self._drain_dispatch()
         return True
@@ -165,11 +179,14 @@ class Engine:
         stop_after = (None if max_events is None
                       else self.events_processed + max_events)
         if (until is not None and max_ps is None and stop_after is None
-                and self.tracer is None and batch_hooks.active is not None):
-            # Batched mode, no limits, no tracer: the per-iteration limit
-            # and tracer checks below are all statically false, so run the
-            # hoisted loop.  Semantics are identical (proven by the
-            # fastpath differential suite).
+                and self.tracer is None and batch_hooks.active is not None
+                and obs_hooks.perf is None):
+            # Batched mode, no limits, no tracer, no host profiler: the
+            # per-iteration limit and tracer checks below are all
+            # statically false, so run the hoisted loop.  Semantics are
+            # identical (proven by the fastpath differential suite).  A
+            # profiled run deliberately takes the instrumented general
+            # loop instead, so the phase breakdown covers every dispatch.
             return self._run_until(until)
         self._drain_dispatch()
         while True:

@@ -26,7 +26,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from repro.common import batch as batch_hooks
-from repro.fastpath.filter import BatchFilter, DEFAULT_WINDOW, \
+from repro.fastpath.filter import BatchFilter, DEFAULT_WINDOW, REASONS, \
     last_occurrence_order
 
 #: Environment variable consulted (once per process) by ensure_ambient.
@@ -80,6 +80,7 @@ __all__ = [
     "BatchFilter",
     "DEFAULT_WINDOW",
     "ENV",
+    "REASONS",
     "default_filter",
     "disabled",
     "enabled",

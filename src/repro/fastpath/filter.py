@@ -39,11 +39,26 @@ code.
 The filter's own counters live in a private :class:`StatsRegistry`,
 deliberately *not* the machine's: ``RunResult.stats`` must be
 bit-identical with and without the fast path.
+
+**Fallback forensics** (``repro.obs.perf``): every window that falls back
+records the *first failing proof* of its first failing row, both as a
+per-reason window count (``fastpath.reason.<reason>``) and with the
+window's scalar rows charged to that reason
+(``fastpath.reason_rows.<reason>``).  The vocabulary (:data:`REASONS`)
+follows the proof order above -- page mapping, then TLB residency, then
+L1 residency, then store state -- so "the streaming kernels fall back
+because residency is established *during* the window" becomes a measured
+histogram instead of a guess.  ``short_window`` marks fully-proven
+windows truncated by the end of a chunk (they cost batch *fraction*, not
+scalar rows); ``hook_disabled`` charges the rows an ambient hook handed
+back wholesale.  The counters are plain window-ordered arithmetic, so
+per-run deltas (``RunResult.fastpath``) are bit-identical between serial
+and farm-parallel runs of the same request.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,6 +70,19 @@ from repro.obs import hooks as obs_hooks
 #: Rows examined per ``consume`` call.  Large enough to amortise the numpy
 #: fixed costs, small enough that miss-dense phases re-probe state often.
 DEFAULT_WINDOW = 256
+
+#: First-failing-proof vocabulary, in proof order.  ``cacheop`` is the
+#: totality bucket: a CACHEOP slot passes every proof once its page is
+#: mapped, so it can only be charged if the proof logic itself changes.
+REASONS = (
+    "page_unmapped",      # page not in the page table (first touch pending)
+    "tlb_nonresident",    # page mapped but not TLB-resident
+    "l1_nonresident",     # line absent from the L1
+    "store_to_non_m",     # store to a resident line not in state M
+    "cacheop",            # defensive: an unprovable CACHEOP slot
+    "hook_disabled",      # an ambient tracer/topo/gate owns the window
+    "short_window",       # all rows proven, window truncated by chunk end
+)
 
 
 def last_occurrence_order(values: np.ndarray) -> List[int]:
@@ -100,8 +128,14 @@ class BatchFilter:
                 or ckpt_gate.active is not None):
             # A hook is watching: the reference path produces the spans /
             # spatial counts / gate stops; hand it the whole remainder.
+            n_rest = ce.reps - start
             stats.add("hook_disabled_windows")
-            return 0, ce.reps - start
+            stats.add("reason.hook_disabled")
+            stats.add("reason_rows.hook_disabled", float(n_rest))
+            return 0, n_rest
+        perf = obs_hooks.perf
+        if perf is not None:
+            t0 = perf.begin()
 
         # -- classification ----------------------------------------
         chunk = ce.chunk
@@ -164,6 +198,9 @@ class BatchFilter:
             n_fast = n_rows
         else:
             n_fast = int(np.argmin(row_fast))  # index of the first False
+        if perf is not None:
+            perf.commit("fastpath.probe", t0)
+            t0 = perf.begin()
 
         # -- commit ------------------------------------------------
         #
@@ -198,6 +235,10 @@ class BatchFilter:
 
         if n_fast == n_rows:
             n_scalar = 0
+            if n_rows < self.window:
+                # Fully proven but truncated by the chunk end: explains a
+                # batch-fraction shortfall with zero scalar rows.
+                stats.add("reason.short_window")
         else:
             # Hand the scalar path the whole leading run of slow rows, so
             # miss-dense phases do not re-probe the same state per row.
@@ -205,10 +246,36 @@ class BatchFilter:
             n_scalar = (int(later_fast[0]) if later_fast.size
                         else n_rows - n_fast)
             stats.add("rows_scalar", float(n_scalar))
+            # Forensics: charge this window's scalar rows to the first
+            # failing proof of the first failing row.
+            row0 = n_fast * n_mem
+            j = row0 + int(np.argmin(slot_fast[row0:row0 + n_mem]))
+            if not page_ok[vpn_inverse[j]]:
+                if (tlb_map is not None
+                        and frame(int(unique_vpn[vpn_inverse[j]]))
+                        is not None):
+                    reason = "tlb_nonresident"
+                else:
+                    reason = "page_unmapped"
+            elif not state[j] and not cacheop[j]:
+                reason = "l1_nonresident"
+            elif store[j] and state[j] != 2:
+                reason = "store_to_non_m"
+            else:
+                reason = "cacheop"
+            stats.add("reason." + reason)
+            stats.add("reason_rows." + reason, float(n_scalar))
         stats.add("windows")
+        if perf is not None:
+            perf.commit("fastpath.commit", t0)
         return n_fast, n_scalar
 
     # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """The filter's flat counters, for before/after run deltas
+        (``Machine`` attaches the per-run delta to ``RunResult.fastpath``)."""
+        return dict(self.registry.flat())
 
     def fallback_rate(self) -> float:
         """Fraction of examined rows handed to the scalar path."""
@@ -217,6 +284,21 @@ class BatchFilter:
         scalar = flat.get("fastpath.rows_scalar", 0.0)
         total = fast + scalar
         return scalar / total if total else 0.0
+
+    def fallback_reasons(self) -> Dict[str, float]:
+        """reason -> scalar rows charged to it (zero-row reasons omitted)."""
+        flat = self.registry.flat()
+        prefix = "fastpath.reason_rows."
+        return {key[len(prefix):]: value for key, value in flat.items()
+                if key.startswith(prefix) and value}
+
+    def dominant_reason(self) -> Optional[str]:
+        """The reason charged the most scalar rows, or None when every
+        examined row was batched (ties break alphabetically)."""
+        reasons = self.fallback_reasons()
+        if not reasons:
+            return None
+        return max(sorted(reasons.items()), key=lambda kv: kv[1])[0]
 
     def summary(self) -> str:
         flat = self.registry.flat()
@@ -227,6 +309,15 @@ class BatchFilter:
         if not (fast or scalar or disabled):
             return ("fastpath: no rows examined "
                     "(work ran elsewhere or chunks had no memory slots)")
-        return (f"fastpath: {fast} rows batched, {scalar} scalar "
-                f"({self.fallback_rate():.1%} fallback) over {windows} "
-                f"windows; {disabled} windows hook-disabled")
+        lines = [f"fastpath: {fast} rows batched, {scalar} scalar "
+                 f"({self.fallback_rate():.1%} fallback) over {windows} "
+                 f"windows; {disabled} windows hook-disabled"]
+        reasons = self.fallback_reasons()
+        if reasons:
+            total = sum(reasons.values())
+            parts = ", ".join(
+                f"{name} {int(rows)} ({rows / total:.1%})"
+                for name, rows in sorted(reasons.items(),
+                                         key=lambda kv: (-kv[1], kv[0])))
+            lines.append(f"  fallback reasons (scalar rows): {parts}")
+        return "\n".join(lines)

@@ -1,12 +1,13 @@
 """The rule registry: ported contract checks (L1-L5) and determinism
-hazards (D1-D4).
+hazards (D1-D5).
 
 The L rules port the four historical ``scripts/check_*.py`` checkers
 onto the shared engine; the D rules are new and guard the property the
 whole reproduction stands on -- bit-identical replay -- at its weakest
 points: hash-order-dependent iteration, ambient wall-clock/environment
 reads inside the simulated machine, undisciplined ambient-hook calls,
-and ``id()``-keyed ordering of simulated objects.
+``id()``-keyed ordering of simulated objects, and host-clock reads
+outside the observability/harness layers.
 
 Scopes are dotted-module based so the same registry runs over the live
 tree and over the fixture mini-packages in ``tests/lint_fixtures/``.
@@ -725,7 +726,7 @@ class HookSlotRule(Rule):
     id = "D3"
     title = "hook slots: read into a local, guard, then call"
     rationale = (
-        "The ambient slots (repro.obs.hooks.active/.topo, "
+        "The ambient slots (repro.obs.hooks.active/.topo/.perf, "
         "repro.common.gate.active, repro.common.batch.active) can be "
         "swapped between any two statements by a context manager in "
         "another layer.  Calling through the module attribute "
@@ -741,6 +742,7 @@ class HookSlotRule(Rule):
     SLOTS = {
         "repro.obs.hooks.active",
         "repro.obs.hooks.topo",
+        "repro.obs.hooks.perf",
         "repro.common.gate.active",
         "repro.common.batch.active",
     }
@@ -802,6 +804,57 @@ class IdOrderingRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# D5: host-clock confinement
+# ---------------------------------------------------------------------------
+
+class HostClockRule(Rule):
+    """The host performance clock is read only by the observability and
+    harness layers."""
+
+    id = "D5"
+    title = "host perf_counter reads are confined to repro.obs/repro.harness"
+    rationale = (
+        "Host-time measurement is an observability concern with exactly "
+        "two sanctioned homes: repro.obs (the phase profiler, "
+        "repro.obs.perf) and repro.harness (experiment wall timing).  A "
+        "perf_counter call anywhere else in the tree either duplicates "
+        "that machinery ad hoc -- unguarded, so it costs every run -- or "
+        "creeps toward making simulated behaviour depend on host timing.  "
+        "D2 already bans the machine's core packages; this rule closes "
+        "the rest of the tree (sim, fastpath, ckpt, validation, ...), so "
+        "'where does the wall time go' has one answer: the perf hook.")
+    hint = ("profile through repro.obs.perf (the repro.obs.hooks.perf "
+            "slot), or time whole runs in repro.harness; hot code reads "
+            "the slot into a local and guards `is not None`")
+    subsystem = "repro.obs.perf"
+
+    FORBIDDEN = {"time.perf_counter", "time.perf_counter_ns"}
+
+    #: The two layers that own the host clock.
+    ALLOWED_PACKAGES = ("repro.obs", "repro.harness")
+
+    def scope(self, module: str) -> bool:
+        return (_in_packages(module, ("repro",))
+                and not _in_packages(module, self.ALLOWED_PACKAGES))
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            dotted = ctx.resolve(node.func)
+            if dotted in self.FORBIDDEN:
+                ctx.report(self, node,
+                           f"host clock read {dotted}() outside "
+                           "repro.obs/repro.harness: "
+                           f"{ctx.lines[node.lineno - 1].strip()}")
+        elif isinstance(node, ast.Name):
+            dotted = ctx.resolve(node)
+            if dotted in self.FORBIDDEN:
+                ctx.report(self, node,
+                           f"host clock reference {dotted} outside "
+                           "repro.obs/repro.harness: "
+                           f"{ctx.lines[node.lineno - 1].strip()}")
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -815,6 +868,7 @@ REGISTRY: Tuple[Rule, ...] = (
     AmbientReadRule(),
     HookSlotRule(),
     IdOrderingRule(),
+    HostClockRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in REGISTRY}

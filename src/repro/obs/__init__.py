@@ -21,7 +21,10 @@ the reproduction the same visibility into itself:
   transitions, per-link traffic, and the queue-occupancy sampler;
 * :mod:`repro.obs.hotspot` -- folds a topo recording into the NUMA
   traffic matrix, top-K hot regions with sharer sets, and contention heat;
-* :mod:`repro.obs.cli` -- ``python -m repro.obs trace|diff|hotspot|watch``.
+* :mod:`repro.obs.perf` -- the host-time axis: the guarded phase profiler
+  (where the wall-clock seconds go), fastpath fallback forensics, and the
+  frozen-schema BENCH perf ledger with its regression gate;
+* :mod:`repro.obs.cli` -- ``python -m repro.obs trace|diff|hotspot|perf|watch``.
 """
 
 from repro.obs.trace import Span, TraceRecorder
@@ -37,6 +40,21 @@ from repro.obs.metrics import (
     MetricsWriter,
     detect_drift,
     read_ledger,
+)
+from repro.obs.perf import (
+    BenchRecord,
+    HostBreakdown,
+    PerfDiffReport,
+    PerfProfiler,
+    diff_bench,
+    dominant_reason,
+    fastpath_stats,
+    make_case,
+    merge_bench,
+    profiling,
+    read_bench,
+    run_record,
+    write_bench,
 )
 
 __all__ = [
@@ -66,4 +84,17 @@ __all__ = [
     "MetricsWriter",
     "detect_drift",
     "read_ledger",
+    "BenchRecord",
+    "HostBreakdown",
+    "PerfDiffReport",
+    "PerfProfiler",
+    "diff_bench",
+    "dominant_reason",
+    "fastpath_stats",
+    "make_case",
+    "merge_bench",
+    "profiling",
+    "read_bench",
+    "run_record",
+    "write_bench",
 ]

@@ -1,6 +1,6 @@
-"""``python -m repro.obs``: trace, attribute, locate, and watch.
+"""``python -m repro.obs``: trace, attribute, locate, profile, and watch.
 
-Four subcommands::
+Five subcommands::
 
     # run one workload under the tracer (the historical surface; the
     # subcommand word is optional -- a bare workload name still works)
@@ -14,6 +14,13 @@ Four subcommands::
     # the spatial axis: run one workload under the topo recorder and
     # print the NUMA traffic matrix, top-K hot regions, and queue heat
     python -m repro.obs hotspot ocean --config hardware
+
+    # the host-time axis: run one workload under the phase profiler and
+    # print where the wall-clock seconds went (dispatch, calendar,
+    # fastpath probe/commit, scalar rows) plus the fallback forensics;
+    # optionally diff against a committed BENCH baseline and gate
+    python -m repro.obs perf fft --config simos-mipsy-150 --scale tiny \\
+        --baseline benchmarks/BENCH_engine_hotpath.json
 
     # CI gate: diff the newest metrics-ledger records against history,
     # exit nonzero on accuracy/performance drift beyond threshold
@@ -34,8 +41,10 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import fastpath
 from repro.common.config import get_scale
 from repro.obs import hooks
+from repro.obs import perf as obs_perf
 from repro.obs import topo as obs_topo
 from repro.obs.diff import diff_runs
 from repro.obs.export import flame_summary, write_chrome_trace
@@ -49,6 +58,7 @@ from repro.obs.metrics import (
 from repro.obs.trace import TraceRecorder
 from repro.sim import farm_hooks
 from repro.sim.configs import get_config
+from repro.sim.machine import Machine
 from repro.sim.request import RunRequest
 from repro.workloads import APP_NAMES, make_app
 
@@ -163,6 +173,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the HotspotReport payload here")
     hotspot.set_defaults(func=cmd_hotspot)
 
+    perf = sub.add_parser(
+        "perf",
+        help="profile host time: phase breakdown, fallback forensics, "
+             "perf gate")
+    add_run_args(perf, default_cpus=1, config_default=DEFAULT_CONFIG)
+    perf.add_argument("--no-fastpath", action="store_true",
+                      help="profile the scalar reference path instead of "
+                           "the batched fast path")
+    perf.add_argument("--json", metavar="PATH", default=None,
+                      help="merge this run's BenchRecord into a BENCH "
+                           "ledger file here")
+    perf.add_argument("--baseline", metavar="PATH", default=None,
+                      help="BENCH file to diff against (same-case records; "
+                           "exit 1 on regression beyond thresholds)")
+    perf.add_argument("--time-threshold", type=float,
+                      default=obs_perf.TIME_THRESHOLD,
+                      help="relative events/sec drop that counts as a "
+                           f"regression (default {obs_perf.TIME_THRESHOLD:g})")
+    perf.add_argument("--batch-threshold", type=float,
+                      default=obs_perf.BATCH_THRESHOLD,
+                      help="absolute batch-fraction drop that counts as a "
+                           f"regression (default {obs_perf.BATCH_THRESHOLD:g})")
+    perf.add_argument("--report-only", action="store_true",
+                      help="print the gate verdict but always exit 0")
+    perf.set_defaults(func=cmd_perf)
+
     watch = sub.add_parser(
         "watch", help="flag accuracy/perf drift in the metrics ledger")
     watch.add_argument("--ledger", metavar="PATH", default=DEFAULT_LEDGER,
@@ -250,6 +286,63 @@ def cmd_hotspot(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = resolve_config(args.config)
+    workload = make_app(args.workload, scale,
+                        tuned_inputs=not args.untuned_inputs)
+    # Deliberately NOT farm_hooks.run: a cache hit would replay the
+    # RunResult without re-simulating, leaving nothing to time; and the
+    # profiler needs the machine's engine for the event count.
+    machine = Machine(config, args.cpus, scale)
+    profiler = obs_perf.PerfProfiler()
+    mode_ctx = fastpath.disabled() if args.no_fastpath else fastpath.enabled()
+    with mode_ctx:
+        with obs_perf.profiling(profiler):
+            result = machine.run(workload)
+    wall_s = profiler.wall_s
+    events = machine.env.events_processed
+    mode = "ref" if args.no_fastpath else "fast"
+    case = obs_perf.make_case(args.workload, config.name, args.cpus,
+                              scale.name, mode)
+    record = obs_perf.run_record("obs_perf", case, wall_s,
+                                 result=result, events=events,
+                                 profiler=profiler)
+
+    print(result.describe())
+    per_sec = f"{events / wall_s:,.0f} events/s" if wall_s > 0 else "n/a"
+    print(f"host: {wall_s:.3f} s wall, {events:,} events ({per_sec})")
+    if record.batch_fraction is not None:
+        print(f"batch fraction: {record.batch_fraction:.1%}")
+    reasons = record.fallback_reasons or {}
+    dominant = obs_perf.dominant_reason(reasons)
+    if dominant is not None:
+        total = sum(reasons.values())
+        parts = ", ".join(
+            f"{name} {int(rows)} ({rows / total:.1%})"
+            for name, rows in sorted(reasons.items(),
+                                     key=lambda kv: (-kv[1], kv[0])))
+        print(f"dominant fallback reason: {dominant}")
+        print(f"fallback reasons (scalar rows): {parts}")
+    print()
+    print(profiler.breakdown().format_table())
+
+    if args.json:
+        obs_perf.merge_bench(args.json, "obs_perf", [record])
+        print(f"\nwrote {args.json}")
+    if args.baseline:
+        baseline = obs_perf.read_bench(args.baseline)
+        report = obs_perf.diff_bench(
+            baseline, [record],
+            time_threshold=args.time_threshold,
+            batch_threshold=args.batch_threshold)
+        print()
+        print(report.format())
+        if not report.ok and not args.report_only:
+            return 1
     return 0
 
 

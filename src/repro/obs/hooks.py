@@ -58,6 +58,17 @@ active: Optional[TraceRecorder] = None
 #: module cycle-free and the disabled path a bare attribute load.
 topo = None
 
+#: The active host-phase profiler (:class:`repro.obs.perf.PerfProfiler`),
+#: or None when host profiling is disabled (the default).  Same slot
+#: discipline as ``active``/``topo``: read into a local, test
+#: ``is not None``, then call methods on the local.  Unlike those hooks
+#: the perf slot does *not* auto-disable the batch fast path -- it exists
+#: to observe it -- and it never changes simulated behaviour: the profiler
+#: only reads the host clock (inside ``repro.obs.perf``, never here or in
+#: the machine), so results are bit-identical with it on or off.
+#: Deliberately untyped at runtime (no perf import) to stay cycle-free.
+perf = None
+
 
 def install(recorder: TraceRecorder) -> TraceRecorder:
     """Enable tracing into *recorder* for subsequent simulator activity."""

@@ -1,0 +1,510 @@
+"""Host-side performance observability: where the *wall-clock* time goes.
+
+The rest of ``repro.obs`` explains simulated cycles; this module explains
+host seconds -- the axis ROADMAP item 1 needs before any compiled backend
+or miss-tolerant proof is worth building.  Three pieces:
+
+* :class:`PerfProfiler` -- guarded, off-by-default host-time hooks.  The
+  engine dispatch loop, the calendar, the batch filter, and the scalar
+  row loop each bracket their work with ``begin()``/``commit()`` *only*
+  after reading the :data:`repro.obs.hooks.perf` slot into a local and
+  testing ``is not None`` (the same discipline lint rule D3 enforces for
+  every other ambient hook).  With the slot empty -- the default -- each
+  site costs one module attribute load plus a ``None`` test, verified by
+  ``benchmarks/bench_obs_overhead.py``.  All ``perf_counter_ns`` reads
+  live *here*, never in the machine, so lint rules D2/D5 stay clean and
+  replay determinism cannot depend on the host clock.
+* :class:`HostBreakdown` -- the folded per-phase table, the host-time
+  sibling of :class:`repro.obs.profile.RunBreakdown`.  Phases are
+  *overlapping views*, not a partition: calendar pushes and fastpath
+  probes happen inside event dispatch, and a scalar row segment spans
+  every dispatch its memory events trigger, so shares need not sum to
+  100%.
+* the **BENCH perf ledger** -- a frozen-schema JSON format
+  (``BENCH_<name>.json``) for simulator-speed trajectories: host wall
+  time, simulated picoseconds, events/sec, batch fraction, the
+  fallback-reason histogram, and the host-phase breakdown.
+  ``python -m repro.obs perf`` records one profiled run and diffs it
+  against a committed baseline (:func:`diff_bench`), exiting nonzero
+  beyond threshold -- the host-time sibling of ``repro.obs watch``.
+
+Profiling is pure host-side observation: unlike the tracer/topo/gate
+hooks it does **not** auto-disable the batch fast path (profiling exists
+to observe it), and cycle counts, stats, and goldens are bit-identical
+with the profiler on or off (``tests/test_obs_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import hooks
+
+# -- host phases -----------------------------------------------------------
+
+DISPATCH = "engine.dispatch"       #: one event callback (fn(arg) + drain)
+CALENDAR = "engine.calendar"       #: one heap push in schedule_at
+PROBE = "fastpath.probe"           #: one window classification (numpy)
+COMMIT = "fastpath.commit"         #: one window's LRU/hit-counter commit
+ROWS_SCALAR = "cpu.rows_scalar"    #: one scalar row segment (inclusive)
+
+#: Every phase the instrumented sites report, in display order.
+PHASES = (DISPATCH, CALENDAR, PROBE, COMMIT, ROWS_SCALAR)
+
+
+class PerfProfiler:
+    """Accumulates host nanoseconds per phase while installed in
+    :data:`repro.obs.hooks.perf`.
+
+    The call protocol at an instrumented site is::
+
+        perf = obs_hooks.perf            # read the slot into a local
+        if perf is not None:             # the entire disabled-path cost
+            t0 = perf.begin()
+        ...work...
+        if perf is not None:
+            perf.commit(PHASE, t0)
+
+    ``begin`` and ``commit`` are the only places the host clock is read;
+    the simulator itself never imports :mod:`time`.
+    """
+
+    __slots__ = ("_ns", "_counts", "_wall_t0", "wall_s")
+
+    def __init__(self):
+        self._ns: Dict[str, int] = {}
+        self._counts: Dict[str, int] = {}
+        self._wall_t0: Optional[int] = None
+        #: Accumulated wall seconds between start_wall/stop_wall pairs.
+        self.wall_s: float = 0.0
+
+    # -- the hot protocol ----------------------------------------------
+
+    def begin(self) -> int:
+        return time.perf_counter_ns()
+
+    def commit(self, phase: str, t0: int, n: int = 1) -> None:
+        """Charge the time since *t0* to *phase* (*n* units of work)."""
+        ns = time.perf_counter_ns() - t0
+        self._ns[phase] = self._ns.get(phase, 0) + ns
+        self._counts[phase] = self._counts.get(phase, 0) + n
+
+    # -- wall clock ----------------------------------------------------
+
+    def start_wall(self) -> None:
+        self._wall_t0 = time.perf_counter_ns()
+
+    def stop_wall(self) -> None:
+        if self._wall_t0 is not None:
+            self.wall_s += (time.perf_counter_ns() - self._wall_t0) / 1e9
+            self._wall_t0 = None
+
+    # -- reporting -----------------------------------------------------
+
+    def phase_seconds(self, phase: str) -> float:
+        return self._ns.get(phase, 0) / 1e9
+
+    def phase_count(self, phase: str) -> int:
+        return self._counts.get(phase, 0)
+
+    def breakdown(self) -> "HostBreakdown":
+        phases = {p: {"s": self._ns[p] / 1e9, "n": float(self._counts[p])}
+                  for p in sorted(self._ns)}
+        return HostBreakdown(wall_s=self.wall_s, phases=phases)
+
+
+@dataclass
+class HostBreakdown:
+    """Per-phase host time for one run; see the module docstring caveat:
+    phases overlap (probe/commit/calendar run inside dispatch, scalar row
+    segments span dispatches), so fractions need not sum to 1."""
+
+    wall_s: float
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def seconds(self, phase: str) -> float:
+        return self.phases.get(phase, {}).get("s", 0.0)
+
+    def count(self, phase: str) -> float:
+        return self.phases.get(phase, {}).get("n", 0.0)
+
+    def fraction(self, phase: str) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.seconds(phase) / self.wall_s
+
+    def to_dict(self) -> Dict:
+        return {"wall_s": self.wall_s,
+                "phases": {p: dict(v) for p, v in sorted(self.phases.items())}}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HostBreakdown":
+        return cls(wall_s=data["wall_s"],
+                   phases={p: dict(v) for p, v in data["phases"].items()})
+
+    def format_table(self) -> str:
+        header = f"{'phase':<18s} {'calls':>10s} {'host_ms':>10s} {'wall%':>7s}"
+        lines = [header, "-" * len(header)]
+        ordered = [p for p in PHASES if p in self.phases]
+        ordered += [p for p in sorted(self.phases) if p not in PHASES]
+        for phase in ordered:
+            lines.append(
+                f"{phase:<18s} {self.count(phase):>10.0f} "
+                f"{self.seconds(phase) * 1e3:>10.1f} "
+                f"{100.0 * self.fraction(phase):>6.1f}%")
+        lines.append(f"{'(wall)':<18s} {'':>10s} {self.wall_s * 1e3:>10.1f} "
+                     f"{'100.0':>6s}%")
+        lines.append("phases overlap (probe/commit/calendar nest inside "
+                     "dispatch; scalar rows span dispatches) -- shares need "
+                     "not sum to 100%")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiling(profiler: Optional[PerfProfiler] = None):
+    """Context manager: profile host phases for everything in the block.
+
+    Installs *profiler* (a fresh one by default) into the
+    :data:`repro.obs.hooks.perf` slot and runs the wall clock across the
+    block.  Unlike the tracer/topo/gate hooks this does *not* disable the
+    batch fast path.
+    """
+    prof = profiler if profiler is not None else PerfProfiler()
+    previous = hooks.perf
+    hooks.perf = prof
+    prof.start_wall()
+    try:
+        yield prof
+    finally:
+        prof.stop_wall()
+        hooks.perf = previous
+
+
+# -- fastpath forensics helpers --------------------------------------------
+
+def fastpath_stats(counters: Optional[Dict[str, float]],
+                   ) -> Tuple[Optional[float], Dict[str, float]]:
+    """(batch fraction, reason -> scalar rows) from a fastpath delta.
+
+    *counters* is the flat per-run counter delta a profiled run attaches
+    to ``RunResult.fastpath`` (``fastpath.rows_fast``,
+    ``fastpath.reason_rows.<reason>``, ...).  Rows a hook-ambient window
+    handed back wholesale count against the batch fraction too (they ran
+    scalar), via ``reason_rows.hook_disabled``.
+    """
+    counters = counters or {}
+    fast = counters.get("fastpath.rows_fast", 0.0)
+    scalar = counters.get("fastpath.rows_scalar", 0.0)
+    prefix = "fastpath.reason_rows."
+    reasons = {key[len(prefix):]: value for key, value in counters.items()
+               if key.startswith(prefix) and value}
+    total = fast + scalar + reasons.get("hook_disabled", 0.0)
+    fraction = fast / total if total else None
+    return fraction, reasons
+
+
+def dominant_reason(reasons: Dict[str, float]) -> Optional[str]:
+    """The fallback reason charged the most scalar rows (ties: first
+    alphabetically, so the answer is deterministic)."""
+    if not reasons:
+        return None
+    return max(sorted(reasons.items()), key=lambda kv: kv[1])[0]
+
+
+# -- the BENCH perf ledger (frozen schema) ---------------------------------
+
+#: Bumped on any incompatible record change; readers skip foreign versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: The frozen BENCH-record schema: field -> (type, required).  Optional
+#: fields may also be null.  Extending it is an explicit, reviewed act
+#: (mirrors :data:`repro.obs.metrics.LEDGER_SCHEMA`).
+BENCH_SCHEMA: Dict[str, Tuple[type, bool]] = {
+    "schema": (int, True),             # BENCH_SCHEMA_VERSION of the writer
+    "bench": (str, True),              # emitting benchmark ("engine_hotpath")
+    "case": (str, True),               # workload@config/Pn/scale/mode
+    "wall_s": (float, True),           # host wall time of the measured run
+    "sim_ps": (int, False),            # simulated picoseconds covered
+    "events": (int, False),            # engine events processed
+    "events_per_sec": (float, False),  # the headline simulator-speed metric
+    "speedup": (float, False),         # vs. this case's own reference run
+    "batch_fraction": (float, False),  # rows batched / rows examined
+    "fallback_reasons": (dict, False),  # reason -> scalar rows
+    "host_phases": (dict, False),      # HostBreakdown.to_dict()
+}
+
+
+def make_case(workload: str, config: str, n_cpus: int, scale: str,
+              mode: str) -> str:
+    """The canonical case key: ``workload@config/Pn/scale/mode``."""
+    return f"{workload}@{config}/P{n_cpus}/{scale}/{mode}"
+
+
+def validate_bench_record(record: Dict) -> List[str]:
+    """Schema violations in *record* (empty list = valid)."""
+    problems = []
+    for name, (typ, required) in BENCH_SCHEMA.items():
+        if name not in record or record[name] is None:
+            if required:
+                problems.append(f"missing required field {name!r}")
+            continue
+        value = record[name]
+        ok = (isinstance(value, typ) and not isinstance(value, bool)
+              if typ in (int, float) else isinstance(value, typ))
+        if typ is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            ok = True          # JSON does not distinguish 1 from 1.0
+        if not ok:
+            problems.append(
+                f"field {name!r} has type {type(value).__name__}, "
+                f"expected {typ.__name__}")
+    for name in record:
+        if name not in BENCH_SCHEMA:
+            problems.append(f"unknown field {name!r} (schema is frozen; "
+                            f"extend BENCH_SCHEMA explicitly)")
+    return problems
+
+
+@dataclass
+class BenchRecord:
+    """One measured case of one benchmark, as the BENCH ledger keeps it."""
+
+    bench: str
+    case: str
+    wall_s: float
+    sim_ps: Optional[int] = None
+    events: Optional[int] = None
+    events_per_sec: Optional[float] = None
+    speedup: Optional[float] = None
+    batch_fraction: Optional[float] = None
+    fallback_reasons: Optional[Dict[str, float]] = None
+    host_phases: Optional[Dict] = None
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "bench": self.bench,
+            "case": self.case,
+            "wall_s": self.wall_s,
+            "sim_ps": self.sim_ps,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "speedup": self.speedup,
+            "batch_fraction": self.batch_fraction,
+            "fallback_reasons": (None if self.fallback_reasons is None
+                                 else dict(self.fallback_reasons)),
+            "host_phases": (None if self.host_phases is None
+                            else dict(self.host_phases)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchRecord":
+        reasons = data.get("fallback_reasons")
+        phases = data.get("host_phases")
+        return cls(
+            bench=data["bench"],
+            case=data["case"],
+            wall_s=data["wall_s"],
+            sim_ps=data.get("sim_ps"),
+            events=data.get("events"),
+            events_per_sec=data.get("events_per_sec"),
+            speedup=data.get("speedup"),
+            batch_fraction=data.get("batch_fraction"),
+            fallback_reasons=None if reasons is None else dict(reasons),
+            host_phases=None if phases is None else dict(phases),
+            schema=data.get("schema", BENCH_SCHEMA_VERSION),
+        )
+
+
+def run_record(bench: str, case: str, wall_s: float, result=None,
+               events: Optional[int] = None,
+               profiler: Optional[PerfProfiler] = None,
+               speedup: Optional[float] = None) -> BenchRecord:
+    """Fold one measured run into a :class:`BenchRecord`.
+
+    *result* (a :class:`~repro.sim.results.RunResult`) supplies the
+    simulated time and -- when the run executed under an ambient batch
+    filter -- the batch fraction and fallback-reason histogram from its
+    per-run ``fastpath`` counter delta.
+    """
+    batch_fraction = None
+    reasons = None
+    sim_ps = None
+    if result is not None:
+        sim_ps = result.total_ps
+        fraction, histogram = fastpath_stats(
+            getattr(result, "fastpath", None))
+        batch_fraction = fraction
+        reasons = histogram or None
+    return BenchRecord(
+        bench=bench,
+        case=case,
+        wall_s=wall_s,
+        sim_ps=sim_ps,
+        events=events,
+        events_per_sec=(events / wall_s
+                        if events is not None and wall_s > 0 else None),
+        speedup=speedup,
+        batch_fraction=batch_fraction,
+        fallback_reasons=reasons,
+        host_phases=(None if profiler is None
+                     else profiler.breakdown().to_dict()),
+    )
+
+
+def write_bench(path, bench: str, records: List[BenchRecord]) -> Path:
+    """Write ``BENCH_<name>.json`` -- one file per benchmark, records
+    sorted by case so reruns produce byte-identical files for identical
+    measurements."""
+    path = Path(path)
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "records": [r.to_dict() for r in
+                    sorted(records, key=lambda r: r.case)],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path) -> List[BenchRecord]:
+    """Current-schema records in a BENCH file, sorted by case.
+
+    A missing file, a foreign schema version, or unparsable JSON yields
+    ``[]`` (baselines must be optional: a fresh checkout gates nothing);
+    individual invalid records are skipped, not fatal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError:
+        return []
+    if (not isinstance(payload, dict)
+            or payload.get("schema") != BENCH_SCHEMA_VERSION
+            or not isinstance(payload.get("records"), list)):
+        return []
+    records = []
+    for data in payload["records"]:
+        if not isinstance(data, dict) or validate_bench_record(data):
+            continue
+        records.append(BenchRecord.from_dict(data))
+    return records
+
+
+def merge_bench(path, bench: str, records: List[BenchRecord]) -> Path:
+    """Write *records* into ``path``, replacing same-case records and
+    keeping the rest -- so each benchmark test updates only its own cases
+    and reruns stay idempotent."""
+    fresh = {r.case: r for r in records}
+    kept = [r for r in read_bench(path) if r.case not in fresh]
+    return write_bench(path, bench, kept + list(fresh.values()))
+
+
+# -- the regression gate (the `perf` CLI subcommand) -----------------------
+
+#: Default relative events/sec (or wall-time) slowdown that counts as a
+#: regression.  Deliberately generous: BENCH baselines travel between
+#: machines, so only collapses (a disabled fast path, an accidentally
+#: quadratic loop), not noise, should trip the gate.
+TIME_THRESHOLD = 0.5
+#: Default absolute drop in batch fraction that counts as a regression.
+BATCH_THRESHOLD = 0.10
+
+
+@dataclass
+class PerfFlag:
+    """One case that moved past a threshold against its baseline."""
+
+    case: str
+    kind: str                  #: "throughput" or "batch"
+    baseline: float
+    latest: float
+    change: float              #: relative (throughput) or absolute (batch)
+    threshold: float
+
+    def format(self) -> str:
+        if self.kind == "throughput":
+            return (f"PERF[throughput] {self.case}: "
+                    f"{self.baseline:,.0f} -> {self.latest:,.0f} events/s "
+                    f"({self.change:+.1%}, threshold -{self.threshold:.0%})")
+        return (f"PERF[batch] {self.case}: batch fraction "
+                f"{self.baseline:.1%} -> {self.latest:.1%} "
+                f"({self.change:+.3f}, threshold -{self.threshold:.2f})")
+
+
+@dataclass
+class PerfDiffReport:
+    """What the perf gate concluded from baseline-vs-current records."""
+
+    cases_checked: int = 0
+    cases_unmatched: int = 0
+    flags: List[PerfFlag] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.flags
+
+    def format(self) -> str:
+        lines = [f"perf gate: {self.cases_checked} case(s) compared against "
+                 f"baseline, {self.cases_unmatched} without a baseline"]
+        if self.ok:
+            lines.append("  no regression beyond thresholds")
+        else:
+            lines.extend(f"  {flag.format()}" for flag in self.flags)
+        return "\n".join(lines)
+
+
+def diff_bench(baseline: List[BenchRecord], current: List[BenchRecord],
+               time_threshold: float = TIME_THRESHOLD,
+               batch_threshold: float = BATCH_THRESHOLD) -> PerfDiffReport:
+    """Compare *current* records against same-case *baseline* records.
+
+    Throughput compares events/sec when both sides carry it (the
+    machine-independent-ish metric), else inverse wall time.  The batch
+    fraction is compared absolutely: a drop beyond *batch_threshold*
+    means the proof stopped firing, which no amount of host noise
+    explains.
+    """
+    report = PerfDiffReport()
+    by_case = {record.case: record for record in baseline}
+    for record in current:
+        base = by_case.get(record.case)
+        if base is None:
+            report.cases_unmatched += 1
+            continue
+        report.cases_checked += 1
+        if (record.events_per_sec and base.events_per_sec
+                and base.events_per_sec > 0):
+            change = record.events_per_sec / base.events_per_sec - 1.0
+            if change < -time_threshold:
+                report.flags.append(PerfFlag(
+                    case=record.case, kind="throughput",
+                    baseline=base.events_per_sec,
+                    latest=record.events_per_sec,
+                    change=change, threshold=time_threshold))
+        elif record.wall_s > 0 and base.wall_s > 0:
+            change = base.wall_s / record.wall_s - 1.0
+            if change < -time_threshold:
+                report.flags.append(PerfFlag(
+                    case=record.case, kind="throughput",
+                    baseline=1.0 / base.wall_s, latest=1.0 / record.wall_s,
+                    change=change, threshold=time_threshold))
+        if (record.batch_fraction is not None
+                and base.batch_fraction is not None):
+            drop = base.batch_fraction - record.batch_fraction
+            if drop > batch_threshold:
+                report.flags.append(PerfFlag(
+                    case=record.case, kind="batch",
+                    baseline=base.batch_fraction,
+                    latest=record.batch_fraction,
+                    change=-drop, threshold=batch_threshold))
+    return report

@@ -28,6 +28,14 @@ class RunResult:
     #: Per-CPU cycle attribution (repro.obs); populated when the run
     #: executed under an active tracer, else None.
     breakdown: Optional["RunBreakdown"] = None
+    #: Host-side fastpath forensics (repro.obs.perf): this run's delta of
+    #: the ambient batch filter's counters (rows batched/scalar, the
+    #: fallback-reason histogram), or None when no filter was ambient.
+    #: Observability only -- excluded from equality and from to_dict, so
+    #: results stay bit-identical with the fast path off and cache
+    #: replays stay indistinguishable (replays carry None: the counters
+    #: are a side effect the result cache deliberately does not store).
+    fastpath: Optional[Dict[str, float]] = field(default=None, compare=False)
 
     @property
     def parallel_ps(self) -> int:

@@ -6,7 +6,9 @@ closing-the-loop machinery produces into two files:
 * ``dashboard.md`` -- terminal/PR-friendly markdown: headline check
   counts, the per-experiment paper-vs-measured tables, attribution
   waterfalls for every finding that carries a *why* payload, the trend
-  studies, and one unicode sparkline per metrics-ledger run group;
+  studies, one unicode sparkline per metrics-ledger run group, and a
+  "How fast is the simulator" table fed by the committed BENCH perf
+  ledgers (:mod:`repro.obs.perf`);
 * ``dashboard.html`` -- the same content as a standalone page (inline
   CSS, no external assets, light/dark via ``prefers-color-scheme``).
 
@@ -171,8 +173,36 @@ def _md_topo(exp_id: str, owner: str, payload: Dict) -> List[str]:
     return lines
 
 
+def _md_bench(bench_records: Sequence) -> List[str]:
+    from repro.obs.perf import dominant_reason
+
+    lines = [
+        "## How fast is the simulator", "",
+        "Headline wall clocks from the committed BENCH perf ledgers "
+        "(`benchmarks/BENCH_*.json`, the frozen schema of "
+        "`repro.obs.perf`); `python -m repro.obs perf --baseline ...` "
+        "gates regressions against these numbers.",
+        "",
+        "| bench | case | wall (s) | events/s | speedup | batched "
+        "| dominant fallback |",
+        "|---|---|---:|---:|---:|---:|---|",
+    ]
+    for r in sorted(bench_records, key=lambda r: (r.bench, r.case)):
+        eps = ("" if r.events_per_sec is None
+               else f"{r.events_per_sec:,.0f}")
+        speedup = "" if r.speedup is None else f"{r.speedup:.1f}x"
+        batched = ("" if r.batch_fraction is None
+                   else f"{100 * r.batch_fraction:.1f}%")
+        reason = dominant_reason(r.fallback_reasons or {}) or ""
+        lines.append(f"| {r.bench} | `{r.case}` | {r.wall_s:.3f} | {eps} "
+                     f"| {speedup} | {batched} | {reason} |")
+    lines.append("")
+    return lines
+
+
 def render_markdown(results: Sequence, ledger_records: Sequence = (),
-                    title: str = "Validation dashboard") -> str:
+                    title: str = "Validation dashboard",
+                    bench_records: Sequence = ()) -> str:
     total = sum(len(r.findings) for r in results)
     ok = sum(1 for r in results for f in r.findings if f.ok)
     runs = sum(r.farm_runs for r in results)
@@ -256,6 +286,9 @@ def render_markdown(results: Sequence, ledger_records: Sequence = (),
                 f"| {workload}@{config}/P{n_cpus}/{scale} | {len(history)} "
                 f"| {spark} | {latest.parallel_ps / 1e9:.3f} | {err} |")
         lines.append("")
+
+    if bench_records:
+        lines += _md_bench(bench_records)
     return "\n".join(lines)
 
 
@@ -414,7 +447,8 @@ def _html_topo_parts(exp_id: str, owner: str, payload: Dict) -> List[str]:
 
 
 def render_html(results: Sequence, ledger_records: Sequence = (),
-                title: str = "Validation dashboard") -> str:
+                title: str = "Validation dashboard",
+                bench_records: Sequence = ()) -> str:
     total = sum(len(r.findings) for r in results)
     ok = sum(1 for r in results for f in r.findings if f.ok)
     runs = sum(r.farm_runs for r in results)
@@ -549,6 +583,36 @@ def render_html(results: Sequence, ledger_records: Sequence = (),
                 f"<td class=num>{err}</td></tr>")
         parts.append("</table>")
 
+    if bench_records:
+        from repro.obs.perf import dominant_reason
+
+        parts.append(
+            "<h2>How fast is the simulator</h2>"
+            "<p class=legend>headline wall clocks from the committed "
+            "BENCH perf ledgers (<code>benchmarks/BENCH_*.json</code>); "
+            "<code>python -m repro.obs perf --baseline ...</code> gates "
+            "regressions against these numbers</p>"
+            "<table><tr><th>bench</th><th>case</th>"
+            "<th class=num>wall (s)</th><th class=num>events/s</th>"
+            "<th class=num>speedup</th><th class=num>batched</th>"
+            "<th>dominant fallback</th></tr>")
+        for r in sorted(bench_records, key=lambda r: (r.bench, r.case)):
+            eps = ("" if r.events_per_sec is None
+                   else f"{r.events_per_sec:,.0f}")
+            speedup = "" if r.speedup is None else f"{r.speedup:.1f}x"
+            batched = ("" if r.batch_fraction is None
+                       else f"{100 * r.batch_fraction:.1f}%")
+            reason = dominant_reason(r.fallback_reasons or {}) or ""
+            parts.append(
+                f"<tr><td>{_esc(r.bench)}</td>"
+                f"<td><code>{_esc(r.case)}</code></td>"
+                f"<td class=num>{r.wall_s:.3f}</td>"
+                f"<td class=num>{eps}</td>"
+                f"<td class=num>{speedup}</td>"
+                f"<td class=num>{batched}</td>"
+                f"<td>{_esc(reason)}</td></tr>")
+        parts.append("</table>")
+
     parts.append('<p class=sub>generated by <code>python -m repro.harness '
                  "--dashboard</code></p></body></html>")
     return "".join(parts)
@@ -557,18 +621,23 @@ def render_html(results: Sequence, ledger_records: Sequence = (),
 def render_dashboard(results: Sequence, out_dir,
                      ledger_records: Optional[Sequence] = None,
                      title: str = "Validation dashboard",
+                     bench_records: Optional[Sequence] = None,
                      ) -> Tuple[Path, Path]:
     """Write ``dashboard.html`` + ``dashboard.md`` into *out_dir*.
 
     Returns the two paths.  *ledger_records* normally comes from
     :func:`repro.obs.metrics.read_ledger`; pass None to omit the trends
-    section.
+    section.  *bench_records* normally comes from
+    :func:`repro.obs.perf.read_bench` over the committed
+    ``benchmarks/BENCH_*.json`` ledgers; pass None to omit the
+    "How fast is the simulator" section.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     records = list(ledger_records) if ledger_records else []
+    benches = list(bench_records) if bench_records else []
     html_path = out_dir / "dashboard.html"
     md_path = out_dir / "dashboard.md"
-    html_path.write_text(render_html(results, records, title))
-    md_path.write_text(render_markdown(results, records, title))
+    html_path.write_text(render_html(results, records, title, benches))
+    md_path.write_text(render_markdown(results, records, title, benches))
     return html_path, md_path

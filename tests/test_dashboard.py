@@ -101,6 +101,22 @@ def ledger_records(n=4):
     return out
 
 
+def bench_records():
+    from repro.obs.perf import BenchRecord
+
+    return [
+        BenchRecord(bench="engine_hotpath",
+                    case="hotloop@simos-mipsy-150/P1/repro/ref",
+                    wall_s=1.25, events=100000, events_per_sec=80000.0),
+        BenchRecord(bench="engine_hotpath",
+                    case="hotloop@simos-mipsy-150/P1/repro/fast",
+                    wall_s=0.2, events=100000, events_per_sec=500000.0,
+                    speedup=6.25, batch_fraction=0.992,
+                    fallback_reasons={"tlb_nonresident": 40.0,
+                                      "l1_nonresident": 8.0}),
+    ]
+
+
 class TestHelpers:
     def test_collect_attributions_finds_both_levels(self):
         found = collect_attributions(results())
@@ -156,6 +172,16 @@ class TestMarkdown:
     def test_no_ledger_means_no_trends_section(self):
         assert "## Ledger trends" not in render_markdown(results())
 
+    def test_bench_records_render_the_simulator_speed_section(self):
+        text = render_markdown(results(), bench_records=bench_records())
+        assert "## How fast is the simulator" in text
+        assert "`hotloop@simos-mipsy-150/P1/repro/fast`" in text
+        assert "6.2x" in text and "99.2%" in text
+        assert "tlb_nonresident" in text      # the dominant fallback reason
+
+    def test_no_bench_records_means_no_speed_section(self):
+        assert "How fast is the simulator" not in render_markdown(results())
+
 
 class TestHtml:
     def test_self_contained_document_with_status_glyphs(self):
@@ -184,6 +210,12 @@ class TestHtml:
         html = render_html(rows)
         assert "<script>alert(1)</script>" not in html
         assert "&lt;script&gt;" in html
+
+    def test_bench_records_render_the_simulator_speed_table(self):
+        html = render_html(results(), bench_records=bench_records())
+        assert "How fast is the simulator" in html
+        assert "hotloop@simos-mipsy-150/P1/repro/fast" in html
+        assert "tlb_nonresident" in html
 
 
 class TestRenderDashboard:

@@ -1,0 +1,385 @@
+"""repro.obs.perf lock-down net: host profiling, forensics, BENCH ledger.
+
+Four contracts:
+
+* **profiling is pure observation** -- a run with the perf hook
+  installed is bit-identical (full ``RunResult.to_dict()``) to one
+  without, on both execution paths, and it does *not* disable the batch
+  fast path (unlike the tracer/topo/gate hooks); the ``engine.dispatch``
+  phase covers exactly ``events_processed`` events;
+* **fallback forensics** -- every fast-path run carries a per-run delta
+  of the ambient filter's counters on ``RunResult.fastpath`` (never in
+  ``to_dict()``: goldens and cache entries are unchanged), the streaming
+  applications' dominant fallback reason is a residency proof, the
+  resident hot loop batches >99% of its rows, and the counters are
+  bit-identical between a serial loop and a ``jobs=2`` farm pool;
+* **the BENCH perf ledger** -- the frozen record schema validates,
+  round-trips, merges idempotently, and tolerates missing/foreign/corrupt
+  baselines by gating nothing;
+* **the regression gate** -- :func:`repro.obs.perf.diff_bench` flags
+  throughput collapses and batch-fraction drops beyond threshold and
+  nothing else, and ``python -m repro.obs perf`` wires it to exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro import fastpath
+from repro.common.config import REPRO_SCALE, TINY_SCALE
+from repro.fastpath.filter import BatchFilter
+from repro.harness import Farm
+from repro.obs import hooks as obs_hooks
+from repro.obs import perf
+from repro.obs.cli import main as obs_main
+from repro.sim import RunRequest, simos_mipsy
+from repro.sim.configs import get_config
+from repro.sim.machine import Machine
+from repro.sim.results import RunResult
+from repro.workloads import make_app
+from repro.workloads.hotloop import HotLoopWorkload
+
+#: The proofs that fail because state is simply not resident yet -- the
+#: expected story for streaming kernels (touch a block once, move on).
+RESIDENCY_REASONS = {"page_unmapped", "tlb_nonresident", "l1_nonresident"}
+
+
+def tiny_machine(n_cpus=1):
+    return Machine(get_config("simos-mipsy-150"), n_cpus, TINY_SCALE)
+
+
+def run_fast(workload, n_cpus=1, profiler=None, scale=TINY_SCALE):
+    """One run on the batched path, optionally profiled."""
+    machine = Machine(get_config("simos-mipsy-150"), n_cpus, scale)
+    with fastpath.enabled(BatchFilter()):
+        if profiler is not None:
+            with perf.profiling(profiler):
+                result = machine.run(workload)
+        else:
+            result = machine.run(workload)
+    return result, machine
+
+
+@pytest.fixture(scope="module")
+def profiled_fft():
+    """One profiled fft@tiny fast-path run, shared by the read-only tests."""
+    profiler = perf.PerfProfiler()
+    result, machine = run_fast(make_app("fft", TINY_SCALE),
+                               profiler=profiler)
+    return result, machine, profiler
+
+
+# -- the profiler and its hook slot ----------------------------------------
+
+class TestProfiler:
+    def test_commit_accumulates_time_and_units(self):
+        profiler = perf.PerfProfiler()
+        t0 = profiler.begin()
+        profiler.commit("engine.dispatch", t0, n=3)
+        profiler.commit("engine.dispatch", profiler.begin())
+        assert profiler.phase_count("engine.dispatch") == 4
+        assert profiler.phase_seconds("engine.dispatch") >= 0.0
+        assert profiler.phase_count("fastpath.probe") == 0
+
+    def test_breakdown_round_trips(self):
+        profiler = perf.PerfProfiler()
+        profiler.commit("engine.dispatch", profiler.begin(), n=2)
+        profiler.start_wall()
+        profiler.stop_wall()
+        breakdown = profiler.breakdown()
+        back = perf.HostBreakdown.from_dict(breakdown.to_dict())
+        assert back == breakdown
+        assert back.count("engine.dispatch") == 2
+
+    def test_breakdown_fractions_and_table(self):
+        breakdown = perf.HostBreakdown(
+            wall_s=2.0, phases={"engine.dispatch": {"s": 1.0, "n": 10.0},
+                                "custom.phase": {"s": 0.5, "n": 1.0}})
+        assert breakdown.fraction("engine.dispatch") == pytest.approx(0.5)
+        assert breakdown.seconds("custom.phase") == pytest.approx(0.5)
+        assert breakdown.fraction("missing") == 0.0
+        table = breakdown.format_table()
+        assert "engine.dispatch" in table
+        assert "custom.phase" in table       # unknown phases still print
+        assert "overlap" in table            # the not-a-partition caveat
+
+    def test_profiling_installs_and_restores_the_slot(self):
+        assert obs_hooks.perf is None
+        with perf.profiling() as outer:
+            assert obs_hooks.perf is outer
+            with perf.profiling() as inner:
+                assert obs_hooks.perf is inner
+            assert obs_hooks.perf is outer
+            assert inner.wall_s >= 0.0
+        assert obs_hooks.perf is None
+        assert outer.wall_s > 0.0
+
+
+# -- profiling is pure observation -----------------------------------------
+
+class TestBitIdentity:
+    def test_profiled_fast_run_is_bit_identical(self, profiled_fft):
+        profiled, _machine, _profiler = profiled_fft
+        plain, _ = run_fast(make_app("fft", TINY_SCALE))
+        assert profiled.to_dict() == plain.to_dict()
+
+    def test_profiled_reference_run_is_bit_identical(self):
+        workload = make_app("fft", TINY_SCALE)
+        with fastpath.disabled():
+            plain = tiny_machine().run(workload)
+        with fastpath.disabled():
+            with perf.profiling():
+                profiled = tiny_machine().run(make_app("fft", TINY_SCALE))
+        assert profiled.to_dict() == plain.to_dict()
+
+    def test_profiler_does_not_disable_the_fast_path(self):
+        # fft@tiny streams and legitimately batches ~nothing, so the
+        # proof-actually-fires check needs the resident hot loop.
+        workload = HotLoopWorkload(TINY_SCALE, reps=500, n_lines=16,
+                                   n_loads=8, n_stores=4)
+        result, _ = run_fast(workload, profiler=perf.PerfProfiler())
+        assert result.fastpath is not None
+        assert result.fastpath.get("fastpath.rows_fast", 0) > 0
+
+    def test_dispatch_phase_covers_every_event(self, profiled_fft):
+        _result, machine, profiler = profiled_fft
+        assert (profiler.phase_count(perf.DISPATCH)
+                == machine.env.events_processed)
+        assert profiler.phase_count(perf.CALENDAR) > 0
+        assert profiler.phase_count(perf.ROWS_SCALAR) > 0
+        breakdown = profiler.breakdown()
+        assert 0.0 < breakdown.fraction(perf.DISPATCH)
+        assert breakdown.wall_s > 0.0
+
+
+# -- fallback forensics ----------------------------------------------------
+
+class TestForensics:
+    def test_reference_runs_attach_no_forensics(self):
+        with fastpath.disabled():
+            result = tiny_machine().run(make_app("fft", TINY_SCALE))
+        assert result.fastpath is None
+
+    def test_fast_runs_attach_the_counter_delta(self, profiled_fft):
+        result, _machine, _profiler = profiled_fft
+        assert result.fastpath
+        assert all(value for value in result.fastpath.values())
+        fraction, reasons = perf.fastpath_stats(result.fastpath)
+        assert fraction is not None and 0.0 <= fraction <= 1.0
+        assert reasons
+
+    @pytest.mark.parametrize("app", ["fft", "radix"])
+    def test_streaming_apps_fall_back_on_residency_proofs(self, app):
+        result, _ = run_fast(make_app(app, TINY_SCALE))
+        _fraction, reasons = perf.fastpath_stats(result.fastpath)
+        dominant = perf.dominant_reason(reasons)
+        assert dominant in RESIDENCY_REASONS, (app, reasons)
+
+    def test_hot_loop_batches_nearly_every_row(self):
+        # The steady-state regime: the repro-scale hot loop's working set
+        # is TLB- and L1-resident, so nearly every row proves all-hit.
+        result, _ = run_fast(HotLoopWorkload(REPRO_SCALE),
+                             scale=REPRO_SCALE)
+        fraction, _reasons = perf.fastpath_stats(result.fastpath)
+        assert fraction is not None
+        assert fraction > 0.99, f"hot loop batched only {fraction:.1%}"
+
+    def test_forensics_stay_out_of_the_serialized_result(self, profiled_fft):
+        result, _machine, _profiler = profiled_fft
+        payload = result.to_dict()
+        assert "fastpath" not in payload
+        back = RunResult.from_dict(payload)
+        assert back.fastpath is None
+        assert back == result    # the field never participates in equality
+
+    @pytest.mark.farm
+    def test_serial_and_pool_forensics_are_identical(self, monkeypatch):
+        # Workers resolve REPRO_FASTPATH per process; the serial loop pins
+        # the same mode explicitly.  The per-run counter *delta* must not
+        # depend on who ran it or on the filter's warmth.
+        monkeypatch.setenv(fastpath.ENV, "1")
+        requests = [RunRequest(simos_mipsy(mhz), make_app("fft", TINY_SCALE),
+                               n_cpus=n_cpus)
+                    for mhz in (150, 225) for n_cpus in (1, 2)]
+        serial = []
+        for request in requests:
+            with fastpath.enabled(BatchFilter()):
+                serial.append(request.execute())
+        pooled = Farm(jobs=2).map(requests)
+        for expected, got in zip(serial, pooled):
+            assert got.to_dict() == expected.to_dict()
+            assert expected.fastpath
+            assert got.fastpath == expected.fastpath
+
+
+# -- the BENCH perf ledger -------------------------------------------------
+
+def record(case="fft@simos-mipsy-150/P1/tiny/fast", **kwargs):
+    return perf.BenchRecord(bench="unit", case=case, wall_s=1.0, **kwargs)
+
+
+class TestBenchLedger:
+    def test_make_case(self):
+        assert (perf.make_case("fft", "hardware", 4, "repro", "ref")
+                == "fft@hardware/P4/repro/ref")
+
+    def test_record_round_trips(self):
+        original = record(events=100, events_per_sec=100.0, speedup=2.0,
+                          batch_fraction=0.5,
+                          fallback_reasons={"tlb_nonresident": 3.0},
+                          host_phases={"wall_s": 1.0, "phases": {}})
+        back = perf.BenchRecord.from_dict(original.to_dict())
+        assert back == original
+        assert not perf.validate_bench_record(original.to_dict())
+
+    @pytest.mark.parametrize("mangle,problem", [
+        (lambda d: d.pop("case"), "missing required field 'case'"),
+        (lambda d: d.update(wall_s="fast"), "field 'wall_s' has type str"),
+        (lambda d: d.update(events=True), "field 'events' has type bool"),
+        (lambda d: d.update(surprise=1), "unknown field 'surprise'"),
+    ])
+    def test_schema_violations_are_reported(self, mangle, problem):
+        payload = record().to_dict()
+        mangle(payload)
+        assert any(problem in p
+                   for p in perf.validate_bench_record(payload))
+
+    def test_run_record_folds_a_profiled_run(self, profiled_fft):
+        result, machine, profiler = profiled_fft
+        events = machine.env.events_processed
+        rec = perf.run_record("unit", "fft@simos-mipsy-150/P1/tiny/fast",
+                              0.5, result=result, events=events,
+                              profiler=profiler, speedup=2.0)
+        assert rec.sim_ps == result.total_ps
+        assert rec.events_per_sec == pytest.approx(events / 0.5)
+        assert rec.batch_fraction is not None
+        assert rec.fallback_reasons
+        assert rec.host_phases["phases"]
+        assert not perf.validate_bench_record(rec.to_dict())
+
+    def test_write_read_and_merge(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        a, b = record(case="a"), record(case="b")
+        perf.write_bench(path, "unit", [b, a])
+        assert [r.case for r in perf.read_bench(path)] == ["a", "b"]
+        # Merging replaces same-case records and keeps the rest.
+        perf.merge_bench(path, "unit", [record(case="b", speedup=9.0),
+                                        record(case="c")])
+        merged = {r.case: r for r in perf.read_bench(path)}
+        assert sorted(merged) == ["a", "b", "c"]
+        assert merged["b"].speedup == 9.0
+        # Identical content writes byte-identical files.
+        first = path.read_text()
+        perf.merge_bench(path, "unit", [record(case="c")])
+        assert path.read_text() == first
+
+    def test_read_tolerates_bad_baselines(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert perf.read_bench(missing) == []
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{torn write")
+        assert perf.read_bench(corrupt) == []
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps(
+            {"schema": 999, "bench": "unit",
+             "records": [record().to_dict()]}))
+        assert perf.read_bench(foreign) == []
+        mixed = tmp_path / "mixed.json"
+        mixed.write_text(json.dumps(
+            {"schema": perf.BENCH_SCHEMA_VERSION, "bench": "unit",
+             "records": [record().to_dict(), {"not": "a record"}]}))
+        assert len(perf.read_bench(mixed)) == 1
+
+    def test_fastpath_stats(self):
+        fraction, reasons = perf.fastpath_stats({
+            "fastpath.rows_fast": 90.0,
+            "fastpath.rows_scalar": 5.0,
+            "fastpath.reason_rows.l1_nonresident": 5.0,
+            "fastpath.reason_rows.hook_disabled": 5.0,
+            "fastpath.windows": 12.0,
+        })
+        # hook_disabled rows ran scalar too: denominator 90 + 5 + 5.
+        assert fraction == pytest.approx(0.9)
+        assert reasons == {"l1_nonresident": 5.0, "hook_disabled": 5.0}
+        assert perf.fastpath_stats(None) == (None, {})
+        assert perf.fastpath_stats({}) == (None, {})
+
+    def test_dominant_reason(self):
+        assert perf.dominant_reason({}) is None
+        assert perf.dominant_reason({"b": 1.0, "a": 3.0}) == "a"
+        # Ties break alphabetically, deterministically.
+        assert perf.dominant_reason({"b": 2.0, "a": 2.0}) == "a"
+
+
+# -- the regression gate ---------------------------------------------------
+
+class TestDiffBench:
+    def test_throughput_collapse_is_flagged(self):
+        base = [record(events_per_sec=1000.0)]
+        report = perf.diff_bench(base, [record(events_per_sec=400.0)])
+        assert not report.ok
+        assert report.flags[0].kind == "throughput"
+        assert "PERF[throughput]" in report.format()
+        # Within threshold: noise, not a regression.
+        assert perf.diff_bench(base, [record(events_per_sec=600.0)]).ok
+
+    def test_wall_time_is_the_fallback_metric(self):
+        base = [perf.BenchRecord(bench="unit", case="c", wall_s=1.0)]
+        slow = [perf.BenchRecord(bench="unit", case="c", wall_s=3.0)]
+        report = perf.diff_bench(base, slow)
+        assert not report.ok and report.flags[0].kind == "throughput"
+        assert perf.diff_bench(base, base).ok
+
+    def test_batch_fraction_drop_is_flagged_absolutely(self):
+        base = [record(batch_fraction=0.99)]
+        report = perf.diff_bench(base, [record(batch_fraction=0.50)])
+        assert [flag.kind for flag in report.flags] == ["batch"]
+        assert "PERF[batch]" in report.format()
+        assert perf.diff_bench(base, [record(batch_fraction=0.95)]).ok
+
+    def test_unmatched_cases_gate_nothing(self):
+        report = perf.diff_bench([], [record()])
+        assert report.ok
+        assert report.cases_checked == 0
+        assert report.cases_unmatched == 1
+        assert "no regression" in report.format()
+
+
+# -- the CLI ---------------------------------------------------------------
+
+class TestPerfCli:
+    ARGS = ["perf", "fft", "--config", "simos-mipsy-150", "--scale", "tiny"]
+
+    def test_records_a_profiled_run(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        assert obs_main(self.ARGS + ["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dominant fallback reason:" in out
+        assert "engine.dispatch" in out
+        records = perf.read_bench(path)
+        assert [r.case for r in records] == ["fft@simos-mipsy-150/P1/tiny/fast"]
+        assert records[0].batch_fraction is not None
+        assert records[0].fallback_reasons
+        assert records[0].host_phases["phases"]
+
+    def test_baseline_gate_and_report_only(self, tmp_path, capsys):
+        # A baseline claiming implausible throughput must trip the gate;
+        # --report-only downgrades it to a printed report.
+        baseline = tmp_path / "BENCH_baseline.json"
+        perf.write_bench(baseline, "obs_perf", [perf.BenchRecord(
+            bench="obs_perf", case="fft@simos-mipsy-150/P1/tiny/fast",
+            wall_s=1e-6, events_per_sec=1e12)])
+        args = self.ARGS + ["--baseline", str(baseline)]
+        assert obs_main(args) == 1
+        assert "PERF[throughput]" in capsys.readouterr().out
+        assert obs_main(args + ["--report-only"]) == 0
+        assert "PERF[throughput]" in capsys.readouterr().out
+
+    def test_no_fastpath_records_the_reference_mode(self, tmp_path):
+        path = tmp_path / "bench.json"
+        code = obs_main(self.ARGS + ["--no-fastpath", "--json", str(path)])
+        assert code == 0
+        records = perf.read_bench(path)
+        assert [r.case for r in records] == ["fft@simos-mipsy-150/P1/tiny/ref"]
+        assert records[0].batch_fraction is None
+        assert records[0].fallback_reasons is None

@@ -18,6 +18,13 @@ observability acceptance gate):
   (``repro.obs.hooks.perf``) guard the engine's dispatch loop, calendar
   pushes and the scalar row path.  Profiling off is the default on every
   measured run, so its guards are held to the same 5% projection budget.
+* **disabled txn path** -- the transaction recorder's hooks
+  (``repro.obs.hooks.txn``) guard the cache miss path, the DSM
+  transaction body, directory transitions, and sync-point write drains.
+  Same slot, same contract, same 5% projection budget.
+
+The headline numbers fold into the committed BENCH perf ledger
+(``benchmarks/BENCH_obs_overhead.json``) via ``conftest.emit_bench``.
 
 Runs under pytest (``pytest benchmarks/bench_obs_overhead.py -s``; marked
 ``slow``) or directly (``python benchmarks/bench_obs_overhead.py``).
@@ -32,6 +39,8 @@ import pytest
 from repro.common.config import get_scale
 from repro.obs import hooks as obs_hooks
 from repro.obs import topo as obs_topo
+from repro.obs import txn as obs_txn
+from repro.obs.perf import BenchRecord, make_case
 from repro.obs.trace import TraceRecorder
 from repro.sim.configs import get_config
 from repro.sim.machine import Machine, run_workload
@@ -100,6 +109,18 @@ def _time_perf_guard(iterations: int = 1_000_000) -> float:
     return elapsed / iterations
 
 
+def _time_txn_guard(iterations: int = 1_000_000) -> float:
+    """Seconds per disabled txn guard -- the identical slot pattern."""
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if obs_hooks.txn is not None:  # the disabled fast path
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed / iterations
+
+
 def _event_count() -> int:
     """Engine events one reference run processes."""
     scale = get_scale("tiny")
@@ -120,10 +141,22 @@ def _topo_event_count() -> int:
     return recorder.total_events
 
 
+def _txn_event_count() -> int:
+    """Txn-hook invocations one reference run generates."""
+    scale = get_scale("tiny")
+    config = get_config("simos-mipsy-150-tuned")
+    workload = make_app("ocean", scale)
+    recorder = obs_txn.TxnRecorder()
+    with obs_txn.recording(recorder):
+        run_workload(config, workload, 2, scale)
+    return recorder.total_events
+
+
 def measure():
     assert obs_hooks.active is None, "benchmark requires tracing disabled"
     assert obs_hooks.topo is None, "benchmark requires topo disabled"
     assert obs_hooks.perf is None, "benchmark requires profiling disabled"
+    assert obs_hooks.txn is None, "benchmark requires txn tracing disabled"
     t_off = min(_reference_run() for _ in range(3))
     recorder = TraceRecorder(capacity=4096)
     t_on = min(
@@ -140,6 +173,11 @@ def measure():
     perf_guard_s = _time_perf_guard()
     events = _event_count()
     perf_projected = events * PERF_GUARDS_PER_EVENT * perf_guard_s
+    txn_guard_s = _time_txn_guard()
+    txn_events = _txn_event_count()
+    # Every txn hook site is one guard (open/commit sites fold into the
+    # transaction's own events), so the projection needs no extra factor.
+    txn_projected = txn_events * txn_guard_s
     return {
         "t_off_s": t_off,
         "t_on_s": t_on,
@@ -153,7 +191,41 @@ def measure():
         "perf_guard_ns": perf_guard_s * 1e9,
         "events": events,
         "perf_disabled_overhead_fraction": perf_projected / t_off,
+        "txn_guard_ns": txn_guard_s * 1e9,
+        "txn_events": txn_events,
+        "txn_disabled_overhead_fraction": txn_projected / t_off,
     }
+
+
+def _emit_ledger(m) -> None:
+    """Fold the headline numbers into BENCH_obs_overhead.json."""
+    from conftest import emit_bench
+
+    config, scale = "simos-mipsy-150-tuned", "tiny"
+    guards = [
+        ("tracer-guard", m["guard_ns"]),
+        ("topo-guard", m["topo_guard_ns"]),
+        ("perf-guard", m["perf_guard_ns"]),
+        ("txn-guard", m["txn_guard_ns"]),
+    ]
+    records = [
+        BenchRecord(bench="obs_overhead",
+                    case=make_case("ocean", config, 2, scale, "obs-off"),
+                    wall_s=m["t_off_s"]),
+        BenchRecord(bench="obs_overhead",
+                    case=make_case("ocean", config, 2, scale, "obs-on"),
+                    wall_s=m["t_on_s"]),
+    ]
+    for mode, guard_ns in guards:
+        # One record per disabled-guard microbenchmark: wall clock of the
+        # 1M-iteration loop, throughput in guards/second.
+        records.append(BenchRecord(
+            bench="obs_overhead",
+            case=make_case("guards", "disabled-slots", 1, scale, mode),
+            wall_s=guard_ns * 1e-9 * 1_000_000,
+            events=1_000_000,
+            events_per_sec=1e9 / guard_ns if guard_ns else None))
+    emit_bench("obs_overhead", records)
 
 
 @pytest.mark.slow
@@ -171,6 +243,10 @@ def test_obs_overhead():
     print(f"perf guard : {m['perf_guard_ns']:8.1f} ns "
           f"({m['events']} events/run -> projected disabled overhead "
           f"{100 * m['perf_disabled_overhead_fraction']:.2f}%)")
+    print(f"txn guard  : {m['txn_guard_ns']:8.1f} ns "
+          f"({m['txn_events']} events/run -> projected disabled overhead "
+          f"{100 * m['txn_disabled_overhead_fraction']:.2f}%)")
+    _emit_ledger(m)
     assert m["disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
         "disabled-tracer guards exceed the 5% budget on the reference run"
     )
@@ -179,6 +255,9 @@ def test_obs_overhead():
     )
     assert m["perf_disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
         "disabled-perf guards exceed the 5% budget on the reference run"
+    )
+    assert m["txn_disabled_overhead_fraction"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-txn guards exceed the 5% budget on the reference run"
     )
     assert m["ratio"] <= MAX_ENABLED_RATIO, (
         f"enabled tracing costs {m['ratio']:.2f}x, "

@@ -44,6 +44,15 @@ HOTSPOT_IDS = {
     "hotspot_ocean_hardware": ("ocean", "hardware", 4),
 }
 
+#: Txn snapshots: golden id -> (workload, configuration, n_cpus).
+#: These pin the per-transaction latency-anatomy pipeline end to end --
+#: txn hooks, segment accounting, histogram fold, top-K -- for one
+#: deterministic tiny-scale run.  Every value is integer picoseconds, so
+#: the per-kind percentiles and slowest-K segment lists are exact.
+TXN_IDS = {
+    "txn_fft_hardware": ("fft", "hardware", 4),
+}
+
 #: Checkpoint snapshots: golden id -> (workload, configuration, n_cpus).
 #: These pin the repro.ckpt capture pipeline -- per-component state
 #: schema, digesting, stop bookkeeping -- by checkpointing one run
@@ -107,6 +116,26 @@ def hotspot_snapshot(golden_id: str) -> dict:
     return build_report(recorder, result).to_dict()
 
 
+def txn_snapshot(golden_id: str) -> dict:
+    """The TxnReport payload for one pinned run under the txn hooks."""
+    from repro.common.config import get_scale
+    from repro.obs import txn as obs_txn
+    from repro.sim.configs import get_config
+    from repro.sim.request import RunRequest
+    from repro.workloads import make_app
+
+    workload_name, config_name, n_cpus = TXN_IDS[golden_id]
+    scale = get_scale("tiny")
+    workload = make_app(workload_name, scale)
+    # Directly executed, never farm-dispatched: the anatomy is a side
+    # effect of simulation that a cached RunResult cannot replay.
+    request = RunRequest(get_config(config_name), workload, n_cpus, scale)
+    recorder = obs_txn.TxnRecorder()
+    with obs_txn.recording(recorder):
+        result = request.execute()
+    return obs_txn.build_report(recorder, result).to_dict()
+
+
 def ckpt_snapshot(golden_id: str) -> dict:
     """Manifest, stop record and state digests of one pinned checkpoint.
 
@@ -154,6 +183,12 @@ def main() -> int:
         data = hotspot_snapshot(golden_id)
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} ({len(data['hot_regions'])} hot regions)")
+    for golden_id in TXN_IDS:
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        data = txn_snapshot(golden_id)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({data['total_txns']} transactions, "
+              f"{len(data['kinds'])} kinds)")
     for golden_id in CKPT_IDS:
         path = GOLDEN_DIR / f"{golden_id}.json"
         data = ckpt_snapshot(golden_id)

@@ -26,6 +26,14 @@ if ! PYTHONPATH=src python -m repro.lint --json > "$lint_json"; then
 fi
 rm -f "$lint_json"
 
+# Txn smoke (hard gate): one traced tiny run must record transactions,
+# observe remote-dirty misses, and account every picosecond (residual 0).
+# Cheap, and it exercises the whole anatomy pipeline -- hooks, segment
+# cuts, wait attribution, histogram fold -- before the matrix runs.
+echo "=== txn smoke: python -m repro.obs txn fft --check ==="
+PYTHONPATH=src python -m repro.obs txn fft --config hardware \
+    --scale tiny --cpus 4 --check > /dev/null
+
 for mode in 0 1; do
     echo "=== tier-1 with REPRO_FASTPATH=$mode ==="
     REPRO_FASTPATH=$mode PYTHONPATH=src python -m pytest -x -q "$@"

@@ -159,8 +159,9 @@ class CpuCore:
         exactly *per_rep* -- bit-identical to the scalar fall-through
         ``cycles = base + per_rep + 0.0`` -- and the filter commits the
         TLB/L1 recency and hit-counter effects wholesale.  Every other
-        row, and every row while an obs tracer, topo recorder, or
-        checkpoint gate is active, runs through *exec_row* unchanged.
+        row, and every row while an obs tracer, topo recorder, txn
+        recorder, or checkpoint gate is active, runs through *exec_row*
+        unchanged.
         """
         fast = batch_hooks.active
         if fast is None or self.iface is None:
@@ -210,7 +211,15 @@ class CpuCore:
         pending = wb.pending_events()
         if pending:
             yield from self._sync_to_local_time()
-            yield self.env.all_of(pending)
+            txn = obs_hooks.txn
+            if txn is None:
+                yield self.env.all_of(pending)
+            else:
+                # Context hook: how long sync points stall on in-flight
+                # stores (the anatomy's CPU-side counterpart).
+                t0 = self.env.now
+                yield self.env.all_of(pending)
+                txn.note_drain(self.env.now - t0)
             self._catch_up_to_engine()
             wb.reap()
 

@@ -192,7 +192,13 @@ class CpuMemInterface:
         existing = self._mshr.get(line2)
         if existing is not None:
             return existing
-        event = self.memsys.request(self.node, paddr, kind)
+        rec = obs_hooks.txn
+        txn = None
+        if rec is not None:
+            # The record opens at the CPU issue point so demand misses
+            # are distinguishable from internal traffic (origin).
+            txn = rec.open(self.node, paddr, kind, origin="demand")
+        event = self.memsys.request(self.node, paddr, kind, txn)
         self._mshr[line2] = event
         event.add_waiter(lambda _ev, line=line2: self._mshr.pop(line, None))
         self.stats.add(self._issue_label[kind])

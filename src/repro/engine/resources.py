@@ -77,7 +77,7 @@ class Resource:
             event, enqueued_at = self._queue.popleft()
             self._grant(event, waited_ps=self.env.now - enqueued_at)
 
-    def use(self, hold_ps: int) -> "Event":
+    def use(self, hold_ps: int, txn=None) -> "Event":
         """Acquire, hold for *hold_ps*, release.
 
         Returns an event firing when the hold completes.  This is the
@@ -87,14 +87,30 @@ class Resource:
 
         Implemented with callbacks rather than a child process: occupancy
         is by far the most frequent operation in a simulation.
+
+        *txn* is an optional :class:`repro.obs.txn.TxnRecord`: at grant
+        time the queueing delay is reported via ``txn.add_wait`` so the
+        transaction's enclosing segment can split wait from service.
+        Recording adds no events and never reorders the grant, so cycle
+        counts are bit-identical with it on or off.
         """
         done = self.env.event()
         grant = self.acquire()
-        grant.add_waiter(lambda _ev, h=hold_ps, d=done: self._hold(h, d))
+        if txn is not None:
+            grant.add_waiter(
+                lambda _ev, h=hold_ps, d=done, t=self.env.now, x=txn:
+                self._hold_txn(h, d, t, x))
+        else:
+            grant.add_waiter(lambda _ev, h=hold_ps, d=done: self._hold(h, d))
         return done
 
     def _hold(self, hold_ps: int, done: Event) -> None:
         self.env.schedule_at(self.env.now + hold_ps, self._finish_hold, done)
+
+    def _hold_txn(self, hold_ps: int, done: Event, requested_at: int,
+                  txn) -> None:
+        txn.add_wait(self.name, self.env.now - requested_at)
+        self._hold(hold_ps, done)
 
     def _finish_hold(self, done: Event) -> None:
         self.release()

@@ -31,10 +31,10 @@ last-access order, which yields the identical final recency order to the
 scalar per-access moves (``last_occurrence_order``).
 
 The filter auto-disables -- returning the whole remainder of the chunk to
-the scalar path -- whenever an obs tracer, topo recorder, or checkpoint
-gate is ambient, so hook-visible behaviour (per-event spans, spatial
-counts, quiesce stops) is always produced by the unmodified reference
-code.
+the scalar path -- whenever an obs tracer, topo recorder, txn recorder,
+or checkpoint gate is ambient, so hook-visible behaviour (per-event
+spans, spatial counts, per-transaction anatomy, quiesce stops) is always
+produced by the unmodified reference code.
 
 The filter's own counters live in a private :class:`StatsRegistry`,
 deliberately *not* the machine's: ``RunResult.stats`` must be
@@ -80,7 +80,7 @@ REASONS = (
     "l1_nonresident",     # line absent from the L1
     "store_to_non_m",     # store to a resident line not in state M
     "cacheop",            # defensive: an unprovable CACHEOP slot
-    "hook_disabled",      # an ambient tracer/topo/gate owns the window
+    "hook_disabled",      # an ambient tracer/topo/txn/gate owns the window
     "short_window",       # all rows proven, window truncated by chunk end
 )
 
@@ -125,6 +125,7 @@ class BatchFilter:
         """
         stats = self.stats
         if (obs_hooks.active is not None or obs_hooks.topo is not None
+                or obs_hooks.txn is not None
                 or ckpt_gate.active is not None):
             # A hook is watching: the reference path produces the spans /
             # spatial counts / gate stops; hand it the whole remainder.

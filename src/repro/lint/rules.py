@@ -128,6 +128,10 @@ class ImportBanRule(Rule):
          ("repro.cpu", "repro.mem", "repro.engine", "repro.memsys",
           "repro.network"),
          "count through the guarded repro.obs.hooks.topo slot"),
+        ("repro.obs.txn",
+         ("repro.cpu", "repro.mem", "repro.memsys", "repro.proto",
+          "repro.network", "repro.engine"),
+         "record through the guarded repro.obs.hooks.txn slot"),
         ("repro.ckpt",
          ("repro.cpu", "repro.mem", "repro.engine"),
          "the models' checkpoint hook is repro.common.gate"),
@@ -726,7 +730,7 @@ class HookSlotRule(Rule):
     id = "D3"
     title = "hook slots: read into a local, guard, then call"
     rationale = (
-        "The ambient slots (repro.obs.hooks.active/.topo/.perf, "
+        "The ambient slots (repro.obs.hooks.active/.topo/.perf/.txn, "
         "repro.common.gate.active, repro.common.batch.active) can be "
         "swapped between any two statements by a context manager in "
         "another layer.  Calling through the module attribute "
@@ -743,6 +747,7 @@ class HookSlotRule(Rule):
         "repro.obs.hooks.active",
         "repro.obs.hooks.topo",
         "repro.obs.hooks.perf",
+        "repro.obs.hooks.txn",
         "repro.common.gate.active",
         "repro.common.batch.active",
     }

@@ -59,6 +59,12 @@ class SetAssocCache:
             if topo is not None:
                 topo.count_cache_miss(self.name, self.node,
                                       line << self.line_shift)
+            txn = obs_hooks.txn
+            if txn is not None:
+                # Context for the transaction anatomy: local hits never
+                # reach the DSM, so per-structure miss counts are the
+                # denominator for the transactions that do.
+                txn.count_cache_miss(self.name)
             return None
         self.stats.add("hits")
         ways = self._sets[line & self._set_mask]

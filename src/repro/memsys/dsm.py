@@ -92,46 +92,81 @@ class DsmMemorySystem:
 
     # -- public request API ------------------------------------------------
 
-    def request(self, node: int, paddr: int, kind: str):
-        """Start a transaction; the returned event fires with completion ps."""
+    def request(self, node: int, paddr: int, kind: str, txn=None):
+        """Start a transaction; the returned event fires with completion ps.
+
+        *txn* is an optional :class:`repro.obs.txn.TxnRecord` opened by
+        the issuing side (demand misses); when it is None and a txn
+        recorder is ambient, the transaction body opens its own record
+        (victim writebacks, direct test calls).
+        """
         if kind == MemKind.WRITEBACK:
             return self.env.process(
-                self._writeback(node, paddr), name=f"wb@{node}"
+                self._writeback(node, paddr, txn), name=f"wb@{node}"
             )
         return self.env.process(
-            self._transact(node, paddr, kind), name=f"{kind}@{node}"
+            self._transact(node, paddr, kind, txn), name=f"{kind}@{node}"
         )
 
     # -- transaction body -----------------------------------------------------
+    #
+    # Segment accounting (repro.obs.txn): time only advances across
+    # yields, so every critical-path yield below is followed by one
+    # guarded ``txn.cut(...)`` charging the elapsed window to exactly one
+    # named segment -- the segments partition the end-to-end latency and
+    # the residual is zero by construction.  Off-critical-path processes
+    # (invalidation round trips, sharing writebacks) are deliberately
+    # *not* threaded: their overlap with the dram access is already
+    # excluded, and only the non-overlapped remainder surfaces, as the
+    # all-wait ``inval_wait`` segment.
 
-    def _transact(self, node: int, paddr: int, kind: str):
+    def _transact(self, node: int, paddr: int, kind: str, txn=None):
         p = self.params
         env = self.env
         line = paddr >> self.line_shift
         home = home_node(paddr)
+        if txn is None:
+            rec = obs_hooks.txn
+            if rec is not None:
+                txn = rec.open(node, paddr, kind)
         start = env.now
+        if txn is not None:
+            txn.begin(start)
         self.stats.add(self._req_label[kind])
 
         # Processor pins -> local MAGIC.
         yield env.timeout(p.bus_ps)
+        if txn is not None:
+            txn.cut("bus_req", env.now)
         if home != node:
-            yield self.magic[node].pp_busy(p.pp_out_ps, "out")
-            yield self.net.send(node, home, p.req_flits)
+            yield self.magic[node].pp_busy(p.pp_out_ps, "out", txn)
+            if txn is not None:
+                txn.cut("pp_out", env.now)
+            yield self.net.send(node, home, p.req_flits, txn)
+            if txn is not None:
+                txn.cut("net_req", env.now)
 
         home_magic = self.magic[home]
         entry = home_magic.directory.entry(line)
         while entry.busy is not None:
             self.stats.add("line_busy_waits")
             yield entry.busy
+        if txn is not None:
+            txn.cut_wait("dir_busy", env.now)
         entry.busy = env.event()
         try:
-            yield home_magic.pp_busy(p.pp_home_ps, "home")
+            yield home_magic.pp_busy(p.pp_home_ps, "home", txn)
+            if txn is not None:
+                txn.cut("pp_home", env.now)
             if kind == MemKind.UPGRADE:
-                case = yield from self._do_upgrade(node, home, line, entry)
+                case = yield from self._do_upgrade(node, home, line, entry,
+                                                   txn)
             elif entry.state == DIRTY and entry.owner != node:
-                case = yield from self._do_dirty(node, home, line, entry, kind)
+                case = yield from self._do_dirty(node, home, line, entry,
+                                                 kind, txn)
             else:
-                case = yield from self._do_clean(node, home, line, entry, kind)
+                case = yield from self._do_clean(node, home, line, entry,
+                                                 kind, txn)
         finally:
             busy, entry.busy = entry.busy, None
             busy.succeed()
@@ -140,7 +175,9 @@ class DsmMemorySystem:
         # owner-forwarded data pass through it; a purely local memory reply
         # does not).
         if case != LOCAL_CLEAN:
-            yield self.magic[node].pp_busy(p.pp_reply_ps, "reply")
+            yield self.magic[node].pp_busy(p.pp_reply_ps, "reply", txn)
+            if txn is not None:
+                txn.cut("pp_reply", env.now)
         yield env.timeout(p.bus_ps)
 
         latency = env.now - start
@@ -153,16 +190,26 @@ class DsmMemorySystem:
         topo = obs_hooks.topo
         if topo is not None:
             topo.count_access(node, home, paddr, kind, latency)
+        if txn is not None:
+            txn.cut("bus_reply", env.now)
+            txn.close(env.now, case)
+            rec = obs_hooks.txn
+            if rec is not None:
+                rec.commit(txn)
         return env.now
 
-    def _do_clean(self, node: int, home: int, line: int, entry, kind: str):
+    def _do_clean(self, node: int, home: int, line: int, entry, kind: str,
+                  txn=None):
         """Directory UNOWNED/SHARED (or requester already owner): memory
         supplies the data; writes invalidate sharers."""
         p = self.params
         env = self.env
         home_magic = self.magic[home]
         case = LOCAL_CLEAN if home == node else REMOTE_CLEAN
-        yield home_magic.pp_busy(max(0, p.pp_mem_ps + p.extra(case)), "mem")
+        yield home_magic.pp_busy(max(0, p.pp_mem_ps + p.extra(case)), "mem",
+                                 txn)
+        if txn is not None:
+            txn.cut("pp_mem", env.now)
 
         inval_done = None
         if kind == MemKind.WRITE and entry.state == SHARED:
@@ -170,12 +217,18 @@ class DsmMemorySystem:
             # iteration order (replay digests must be process-independent).
             others = sorted(s for s in entry.sharers if s != node)
             if others:
+                if txn is not None:
+                    txn.inval_fanout = len(others)
                 inval_done = env.all_of(
                     [self._invalidate_sharer(home, s, line) for s in others]
                 )
-        yield home_magic.dram_access(p.dram_ps)
+        yield home_magic.dram_access(p.dram_ps, txn)
+        if txn is not None:
+            txn.cut("dram", env.now)
         if inval_done is not None:
             yield inval_done
+            if txn is not None:
+                txn.cut_wait("inval_wait", env.now)
 
         if kind == MemKind.WRITE:
             home_magic.directory.set_dirty(line, node)
@@ -186,11 +239,14 @@ class DsmMemorySystem:
             home_magic.directory.add_sharer(line, node)
             fill_state = CACHE_SHARED
         if home != node:
-            yield self.net.send(home, node, p.data_flits)
+            yield self.net.send(home, node, p.data_flits, txn)
+            if txn is not None:
+                txn.cut("net_reply", env.now)
         self._fill(node, line, fill_state)
         return case
 
-    def _do_dirty(self, node: int, home: int, line: int, entry, kind: str):
+    def _do_dirty(self, node: int, home: int, line: int, entry, kind: str,
+                  txn=None):
         """Directory DIRTY at another node: intervene at the owner."""
         p = self.params
         env = self.env
@@ -202,14 +258,19 @@ class DsmMemorySystem:
             case = REMOTE_DIRTY_HOME
         else:
             case = REMOTE_DIRTY_REMOTE
-        yield home_magic.pp_busy(max(0, p.pp_redirect_ps + p.extra(case)), "redirect")
+        yield home_magic.pp_busy(max(0, p.pp_redirect_ps + p.extra(case)),
+                                 "redirect", txn)
+        if txn is not None:
+            txn.cut("pp_redirect", env.now)
 
         hook = self._hooks[owner]
         owner_state = hook.l2_peek(line)
         if owner_state != MODIFIED:
             # The owner's writeback is in flight: fall back to memory.
             self.stats.add("race_to_memory")
-            yield home_magic.dram_access(p.dram_ps)
+            yield home_magic.dram_access(p.dram_ps, txn)
+            if txn is not None:
+                txn.cut("dram", env.now)
             if kind == MemKind.WRITE:
                 home_magic.directory.set_dirty(line, node)
                 fill_state = MODIFIED
@@ -218,15 +279,23 @@ class DsmMemorySystem:
                 home_magic.directory.add_sharer(line, node)
                 fill_state = CACHE_SHARED
             if home != node:
-                yield self.net.send(home, node, p.data_flits)
+                yield self.net.send(home, node, p.data_flits, txn)
+                if txn is not None:
+                    txn.cut("net_reply", env.now)
             self._fill(node, line, fill_state)
             return case
 
         if owner != home:
-            yield self.net.send(home, owner, p.req_flits)
-            yield self.magic[owner].pp_busy(p.pp_ivn_ps, "ivn")
+            yield self.net.send(home, owner, p.req_flits, txn)
+            if txn is not None:
+                txn.cut("net_fwd", env.now)
+            yield self.magic[owner].pp_busy(p.pp_ivn_ps, "ivn", txn)
+            if txn is not None:
+                txn.cut("pp_owner", env.now)
         # Data extraction through the owner R10000's secondary cache.
         yield env.timeout(p.owner_cache_ps)
+        if txn is not None:
+            txn.cut("owner_cache", env.now)
         if kind == MemKind.WRITE:
             hook.l2_invalidate(line)
             home_magic.directory.set_dirty(line, node)
@@ -241,11 +310,13 @@ class DsmMemorySystem:
             env.process(self._sharing_writeback(owner, home),
                         name=f"shwb{owner}->{home}")
         if owner != node:
-            yield self.net.send(owner, node, p.data_flits)
+            yield self.net.send(owner, node, p.data_flits, txn)
+            if txn is not None:
+                txn.cut("net_reply", env.now)
         self._fill(node, line, fill_state)
         return case
 
-    def _do_upgrade(self, node: int, home: int, line: int, entry):
+    def _do_upgrade(self, node: int, home: int, line: int, entry, txn=None):
         """Store hit on a SHARED line: invalidate the other sharers."""
         p = self.params
         env = self.env
@@ -256,17 +327,23 @@ class DsmMemorySystem:
             self.stats.add("upgrade_races")
             if entry.state == DIRTY and entry.owner != node:
                 return (yield from self._do_dirty(node, home, line, entry,
-                                                  MemKind.WRITE))
+                                                  MemKind.WRITE, txn))
             return (yield from self._do_clean(node, home, line, entry,
-                                              MemKind.WRITE))
+                                              MemKind.WRITE, txn))
         case = LOCAL_CLEAN if home == node else REMOTE_CLEAN
-        yield home_magic.pp_busy(p.pp_mem_ps, "upgrade")
+        yield home_magic.pp_busy(p.pp_mem_ps, "upgrade", txn)
+        if txn is not None:
+            txn.cut("pp_upgrade", env.now)
         # Sorted for the same reason as _do_clean's invalidation fan-out.
         others = sorted(s for s in entry.sharers if s != node)
         if others:
+            if txn is not None:
+                txn.inval_fanout = len(others)
             yield env.all_of(
                 [self._invalidate_sharer(home, s, line) for s in others]
             )
+            if txn is not None:
+                txn.cut_wait("inval_wait", env.now)
         home_magic.directory.set_dirty(line, node)
         self._fill(node, line, MODIFIED)
         self.stats.add("upgrades_clean")
@@ -298,29 +375,46 @@ class DsmMemorySystem:
 
     # -- writeback -------------------------------------------------------------
 
-    def _writeback(self, node: int, paddr: int):
+    def _writeback(self, node: int, paddr: int, txn=None):
         """Dirty eviction: update home memory and directory.  The issuing
         processor does not wait (its write buffer tracks completion)."""
         p = self.params
         env = self.env
         line = paddr >> self.line_shift
         home = home_node(paddr)
+        if txn is None:
+            rec = obs_hooks.txn
+            if rec is not None:
+                txn = rec.open(node, paddr, MemKind.WRITEBACK,
+                               origin="eviction")
+        if txn is not None:
+            txn.begin(env.now)
         self.stats.add("req_writeback")
         topo = obs_hooks.topo
         if topo is not None:
             topo.count_access(node, home, paddr, MemKind.WRITEBACK)
         yield env.timeout(p.bus_ps)
+        if txn is not None:
+            txn.cut("bus_req", env.now)
         if home != node:
-            yield self.magic[node].pp_busy(p.pp_out_ps, "out")
-            yield self.net.send(node, home, p.data_flits)
+            yield self.magic[node].pp_busy(p.pp_out_ps, "out", txn)
+            if txn is not None:
+                txn.cut("pp_out", env.now)
+            yield self.net.send(node, home, p.data_flits, txn)
+            if txn is not None:
+                txn.cut("net_req", env.now)
         home_magic = self.magic[home]
         entry = home_magic.directory.entry(line)
         while entry.busy is not None:
             yield entry.busy
+        if txn is not None:
+            txn.cut_wait("dir_busy", env.now)
         entry.busy = env.event()
         try:
-            yield home_magic.pp_busy(p.pp_wb_ps, "wb")
-            yield home_magic.dram_access(p.dram_ps)
+            yield home_magic.pp_busy(p.pp_wb_ps, "wb", txn)
+            if txn is not None:
+                txn.cut("pp_wb", env.now)
+            yield home_magic.dram_access(p.dram_ps, txn)
             if entry.state == DIRTY and entry.owner == node:
                 home_magic.directory.clear(line)
             elif entry.state == SHARED:
@@ -328,6 +422,12 @@ class DsmMemorySystem:
         finally:
             busy, entry.busy = entry.busy, None
             busy.succeed()
+        if txn is not None:
+            txn.cut("dram", env.now)
+            txn.close(env.now, None)
+            rec = obs_hooks.txn
+            if rec is not None:
+                rec.commit(txn)
         return env.now
 
     # -- helpers -----------------------------------------------------------------

@@ -49,13 +49,19 @@ class Network:
                     env, f"link{link[0]}->{link[1]}"
                 )
 
-    def send(self, src: int, dst: int, flits: int = 1):
-        """Transmit a message; the returned event fires at delivery time."""
+    def send(self, src: int, dst: int, flits: int = 1, txn=None):
+        """Transmit a message; the returned event fires at delivery time.
+
+        *txn* threads the requesting transaction's record down to each
+        router port on the route, so per-hop queueing is captured as
+        wait (wire/occupancy time stays service); see
+        :mod:`repro.obs.txn`.
+        """
         return self.env.process(
-            self._send_gen(src, dst, flits), name=f"msg{src}->{dst}"
+            self._send_gen(src, dst, flits, txn), name=f"msg{src}->{dst}"
         )
 
-    def _send_gen(self, src: int, dst: int, flits: int):
+    def _send_gen(self, src: int, dst: int, flits: int, txn=None):
         self.stats.add("messages")
         self.stats.add("flits", flits)
         if src == dst:
@@ -66,7 +72,7 @@ class Network:
         occupancy = self.params.occupancy_ps(flits)
         for link in hops:
             if self.model_contention:
-                yield self._links[link].use(occupancy)
+                yield self._links[link].use(occupancy, txn)
             else:
                 yield self.env.timeout(occupancy)
             yield self.env.timeout(self.params.hop_ps)

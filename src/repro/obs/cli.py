@@ -1,6 +1,6 @@
 """``python -m repro.obs``: trace, attribute, locate, profile, and watch.
 
-Five subcommands::
+Six subcommands::
 
     # run one workload under the tracer (the historical surface; the
     # subcommand word is optional -- a bare workload name still works)
@@ -14,6 +14,11 @@ Five subcommands::
     # the spatial axis: run one workload under the topo recorder and
     # print the NUMA traffic matrix, top-K hot regions, and queue heat
     python -m repro.obs hotspot ocean --config hardware
+
+    # the per-transaction axis: run one workload under the txn recorder
+    # and print each kind's latency percentiles plus the slowest-K
+    # transactions' segment anatomy (queue wait vs. service vs. wire)
+    python -m repro.obs txn fft --config hardware
 
     # the host-time axis: run one workload under the phase profiler and
     # print where the wall-clock seconds went (dispatch, calendar,
@@ -46,6 +51,7 @@ from repro.common.config import get_scale
 from repro.obs import hooks
 from repro.obs import perf as obs_perf
 from repro.obs import topo as obs_topo
+from repro.obs import txn as obs_txn
 from repro.obs.diff import diff_runs
 from repro.obs.export import flame_summary, write_chrome_trace
 from repro.obs.hotspot import build_report
@@ -173,6 +179,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the HotspotReport payload here")
     hotspot.set_defaults(func=cmd_hotspot)
 
+    txn = sub.add_parser(
+        "txn",
+        help="follow transactions end-to-end: per-kind latency "
+             "percentiles, slowest-K segment anatomy")
+    add_run_args(txn, default_cpus=4, config_default="hardware")
+    txn.add_argument("--top", type=int, default=obs_txn.DEFAULT_TOP_K,
+                     help="slowest transactions to print "
+                          f"(default {obs_txn.DEFAULT_TOP_K})")
+    txn.add_argument("--kind", default=None,
+                     help="restrict the slowest-K view to one kind key "
+                          "(e.g. read.remote_clean, writeback)")
+    txn.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the TxnReport payload here")
+    txn.add_argument("--check", action="store_true",
+                     help="CI smoke: exit 1 unless remote-dirty "
+                          "transactions were observed and every residual "
+                          "is zero")
+    txn.set_defaults(func=cmd_txn)
+
     perf = sub.add_parser(
         "perf",
         help="profile host time: phase breakdown, fallback forensics, "
@@ -286,6 +311,45 @@ def cmd_hotspot(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_txn(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = resolve_config(args.config)
+    workload = make_app(args.workload, scale,
+                        tuned_inputs=not args.untuned_inputs)
+    recorder = obs_txn.TxnRecorder(top_k=max(1, args.top))
+    # Deliberately NOT farm_hooks.run: a cache hit would replay the
+    # RunResult without re-simulating, leaving the recorder empty.
+    request = RunRequest(config, workload, args.cpus, scale)
+    with obs_txn.recording(recorder):
+        result = request.execute()
+    report = obs_txn.build_report(recorder, result, top_k=args.top)
+    print(result.describe())
+    print()
+    print(report.format(top=args.top, kind=args.kind))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    if args.check:
+        remote_dirty = report.count_for(
+            lambda key: "remote_dirty" in key or "dirty_remote" in key)
+        problems = []
+        if report.total_txns == 0:
+            problems.append("no transactions recorded")
+        if remote_dirty == 0:
+            problems.append("no remote-dirty transactions observed")
+        if report.residual_txns:
+            problems.append(
+                f"{report.residual_txns} transactions with nonzero "
+                f"residual ({report.residual_ps} ps total)")
+        if problems:
+            print("\ntxn check FAILED: " + "; ".join(problems))
+            return 1
+        print(f"\ntxn check ok: {report.total_txns} transactions, "
+              f"{remote_dirty} remote-dirty, residual 0")
     return 0
 
 

@@ -69,6 +69,17 @@ topo = None
 #: Deliberately untyped at runtime (no perf import) to stay cycle-free.
 perf = None
 
+#: The active transaction recorder (:class:`repro.obs.txn.TxnRecorder`),
+#: or None when per-transaction tracing is disabled (the default).  Same
+#: slot discipline as ``active``/``topo``: hot code reads the slot into a
+#: local, tests ``is not None``, then calls methods on the local.  Like
+#: the tracer and topo slots -- and unlike ``perf`` -- an installed txn
+#: recorder auto-disables the batch fast path, so every memory reference
+#: runs the unmodified reference path and each DSM transaction can be
+#: followed end-to-end.  Deliberately untyped at runtime (no txn import)
+#: to keep this module cycle-free and the disabled path a bare load.
+txn = None
+
 
 def install(recorder: TraceRecorder) -> TraceRecorder:
     """Enable tracing into *recorder* for subsequent simulator activity."""

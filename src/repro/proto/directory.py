@@ -72,6 +72,11 @@ class Directory:
         if topo is not None:
             topo.dir_transition(self.node, line, "to_shared",
                                 len(ent.sharers))
+        txn = obs_hooks.txn
+        if txn is not None:
+            # Sharer-count context: the fan-out width the *next* write
+            # to this line will pay for (the "+inv" transaction flavor).
+            txn.dir_transition("to_shared", len(ent.sharers))
 
     def set_dirty(self, line: int, owner: int) -> None:
         ent = self.entry(line)
@@ -82,6 +87,9 @@ class Directory:
         topo = obs_hooks.topo
         if topo is not None:
             topo.dir_transition(self.node, line, "to_dirty")
+        txn = obs_hooks.txn
+        if txn is not None:
+            txn.dir_transition("to_dirty")
 
     def clear(self, line: int) -> None:
         ent = self.entry(line)
@@ -92,6 +100,9 @@ class Directory:
         topo = obs_hooks.topo
         if topo is not None:
             topo.dir_transition(self.node, line, "to_unowned")
+        txn = obs_hooks.txn
+        if txn is not None:
+            txn.dir_transition("to_unowned")
 
     def drop_sharer(self, line: int, node: int) -> None:
         ent = self.entry(line)
@@ -102,6 +113,9 @@ class Directory:
             topo = obs_hooks.topo
             if topo is not None:
                 topo.dir_transition(self.node, line, "to_unowned")
+            txn = obs_hooks.txn
+            if txn is not None:
+                txn.dir_transition("to_unowned")
 
     # -- checkpoint contract ---------------------------------------------
 

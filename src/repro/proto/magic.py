@@ -36,13 +36,15 @@ class MagicController:
                              stats=CounterSet(f"magic{node}.dram"))
         self.directory = Directory(node)
 
-    def pp_busy(self, hold_ps: int, label: str = "handler"):
+    def pp_busy(self, hold_ps: int, label: str = "handler", txn=None):
         """Handle something for *hold_ps* of latency, occupying the
         protocol processor for ``pp_occ_fraction`` of it.
 
         Returns an event; the caller ``yield``\\ s it.  Handler counts are
         available via ``pp.requests``; per-label counting is skipped on
-        this hot path.
+        this hot path.  *txn* threads the requesting transaction's record
+        down to the pp resource so its queueing delay is captured as
+        wait, never service (see :mod:`repro.obs.txn`).
         """
         tracer = obs_hooks.active
         if tracer is not None:
@@ -55,19 +57,19 @@ class MagicController:
         occ = int(hold_ps * self.pp_occ_fraction)
         rest = hold_ps - occ
         if rest <= 0:
-            return self.pp.use(hold_ps)
-        return self.env.process(self._busy_then_wait(occ, rest),
+            return self.pp.use(hold_ps, txn)
+        return self.env.process(self._busy_then_wait(occ, rest, txn),
                                 name=f"pp{self.node}")
 
-    def _busy_then_wait(self, occ_ps: int, rest_ps: int):
-        yield self.pp.use(occ_ps)
+    def _busy_then_wait(self, occ_ps: int, rest_ps: int, txn=None):
+        yield self.pp.use(occ_ps, txn)
         yield self.env.timeout(rest_ps)
 
-    def dram_access(self, hold_ps: int):
+    def dram_access(self, hold_ps: int, txn=None):
         """Access this node's memory.  Memory contention is modelled even
         by the NUMA configuration ("it simulates ... contention for main
         memory"), so this is always a real resource."""
-        return self.dram.use(hold_ps)
+        return self.dram.use(hold_ps, txn)
 
     def queue_depths(self):
         return {"pp": self.pp.queue_length, "dram": self.dram.queue_length}

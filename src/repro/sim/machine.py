@@ -79,6 +79,7 @@ class Machine:
         self._done = None
         self._tracer = None
         self._topo = None
+        self._txn = None
         self._filt = None
         self._fastpath_base: Optional[dict] = None
 
@@ -108,6 +109,9 @@ class Machine:
             # The sampler never finishes; Engine.run checks the until
             # event before each step, so it cannot keep the run alive.
             self.env.process(topo.sampler(self.env), name="topo.sampler")
+        txn_rec = obs_hooks.txn
+        if txn_rec is not None:
+            txn_rec.bind_machine(self)
         traces = workload.build(self.n_cpus)
         if len(traces) != self.n_cpus:
             raise ConfigurationError(
@@ -117,6 +121,7 @@ class Machine:
         self._traces = traces
         self._tracer = tracer
         self._topo = topo
+        self._txn = txn_rec
         processes = []
         for core, trace in zip(self.cores, traces):
             core.start_at(self.env.now)
@@ -199,6 +204,9 @@ class Machine:
         result.fastpath = self._fastpath_delta()
         if self._topo is not None:
             self._topo.finish(self.env.now)
+        if self._txn is not None:
+            self._txn.finish(self.env.now)
+            result.txn_total = self._txn.total_txns
         return result
 
     def run(self, workload) -> RunResult:
@@ -295,6 +303,11 @@ class Machine:
             raise SimulationError(
                 "checkpoint restore cannot run under a topo recorder "
                 "(spatial counters are not part of checkpoint state)"
+            )
+        if obs_hooks.txn is not None:
+            raise SimulationError(
+                "checkpoint restore cannot run under a txn recorder "
+                "(transaction records are not part of checkpoint state)"
             )
         tracer = obs_hooks.active
         if tracer is not None and not allow_partial_obs:

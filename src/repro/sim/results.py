@@ -36,6 +36,13 @@ class RunResult:
     #: replays stay indistinguishable (replays carry None: the counters
     #: are a side effect the result cache deliberately does not store).
     fastpath: Optional[Dict[str, float]] = field(default=None, compare=False)
+    #: Transactions recorded by an ambient txn recorder (repro.obs.txn)
+    #: during this run, or None when none was installed.  Same contract
+    #: as :attr:`fastpath`: observability only, excluded from equality
+    #: and serialization -- the anatomy itself lives in the recorder (and
+    #: travels as a ``"kind": "txn"`` payload on Finding/ExperimentResult
+    #: attributions), never inside the cached result.
+    txn_total: Optional[int] = field(default=None, compare=False)
 
     @property
     def parallel_ps(self) -> int:

@@ -38,6 +38,7 @@ from repro.validation.sensitivity import (
     HotspotStudy,
     hotspot_evidence,
     hotspot_study,
+    txn_evidence,
 )
 from repro.validation.trends import (
     DEFAULT_CPU_COUNTS,
@@ -71,6 +72,7 @@ __all__ = [
     "HotspotStudy",
     "hotspot_evidence",
     "hotspot_study",
+    "txn_evidence",
     "DEFAULT_CPU_COUNTS",
     "SpeedupCurve",
     "SpeedupStudy",

@@ -55,6 +55,11 @@ def _is_topo(payload: Dict) -> bool:
     return isinstance(payload, dict) and payload.get("kind") == "topo"
 
 
+def _is_txn(payload: Dict) -> bool:
+    """True for TxnReport-shaped payloads (the latency anatomy)."""
+    return isinstance(payload, dict) and payload.get("kind") == "txn"
+
+
 def collect_attributions(results: Sequence) -> List[Tuple[str, str, Dict]]:
     """Every attribution payload in *results*: (exp_id, owner, payload)."""
     out = []
@@ -173,6 +178,41 @@ def _md_topo(exp_id: str, owner: str, payload: Dict) -> List[str]:
     return lines
 
 
+def _md_txn(exp_id: str, owner: str, payload: Dict) -> List[str]:
+    from repro.obs.txn import TxnReport, _fmt_ps
+
+    report = TxnReport.from_dict(payload)
+    where = f"`{exp_id}`" + (f" / {owner}" if owner else "")
+    lines = [
+        f"**{where}** — {report.workload} on `{report.config}` "
+        f"(P={report.n_cpus}): {report.total_txns} transactions in "
+        f"{len(report.kinds)} kinds; residual {report.residual_ps} ps "
+        f"across {report.residual_txns} transactions",
+        "",
+        "| kind | count | p50 | p90 | p99 | mean |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for key in sorted(report.kinds):
+        entry = report.kinds[key]
+        mean = entry["total_ps"] // max(1, entry["count"])
+        lines.append(
+            f"| `{key}` | {entry['count']} | {_fmt_ps(entry['p50_ps'])} "
+            f"| {_fmt_ps(entry['p90_ps'])} | {_fmt_ps(entry['p99_ps'])} "
+            f"| {_fmt_ps(mean)} |")
+    lines.append("")
+    if report.top:
+        slowest = report.top[-1]
+        seg = ", ".join(
+            f"{name} {_fmt_ps(wait + service)}"
+            for name, wait, service in slowest["segments"])
+        lines.append(
+            f"Slowest: `{slowest['kind']}` node{slowest['node']}→"
+            f"home{slowest['home']}, {_fmt_ps(slowest['latency_ps'])} "
+            f"({seg}; residual {slowest['residual_ps']} ps).")
+        lines.append("")
+    return lines
+
+
 def _md_bench(bench_records: Sequence) -> List[str]:
     from repro.obs.perf import dominant_reason
 
@@ -258,6 +298,17 @@ def render_markdown(results: Sequence, ledger_records: Sequence = (),
                   ""]
         for exp_id, owner, payload in topos:
             lines += _md_topo(exp_id, owner, payload)
+
+    txns = [(e, o, p) for e, o, p in attributions if _is_txn(p)]
+    if txns:
+        lines += ["## Where does latency come from", "",
+                  "Per-transaction anatomy from the txn recorder: each "
+                  "memory transaction followed end-to-end (CPU issue → "
+                  "directory → network → reply), segments summing exactly "
+                  "to its latency with an explicit residual row.",
+                  ""]
+        for exp_id, owner, payload in txns:
+            lines += _md_txn(exp_id, owner, payload)
 
     trends = [r for r in results if r.exp_id in TREND_EXPERIMENTS]
     if trends:
@@ -446,6 +497,68 @@ def _html_topo_parts(exp_id: str, owner: str, payload: Dict) -> List[str]:
     return parts
 
 
+def _html_txn_parts(exp_id: str, owner: str, payload: Dict) -> List[str]:
+    from repro.obs.txn import TxnReport, _fmt_ps
+
+    report = TxnReport.from_dict(payload)
+    where = f"<code>{_esc(exp_id)}</code>" + \
+        (f" / {_esc(owner)}" if owner else "")
+    parts = [
+        f"<h3>{where} — {_esc(report.workload)} on "
+        f"<code>{_esc(report.config)}</code> (P={report.n_cpus})</h3>",
+        f"<p class=sub>{report.total_txns} transactions in "
+        f"{len(report.kinds)} kinds; residual {report.residual_ps} ps "
+        f"across {report.residual_txns} transactions</p>",
+        "<table><tr><th>kind</th><th class=num>count</th>"
+        "<th class=num>p50</th><th class=num>p90</th>"
+        "<th class=num>p99</th><th class=num>mean</th>"
+        "<th>segment mix (wait vs service)</th></tr>",
+    ]
+    for key in sorted(report.kinds):
+        entry = report.kinds[key]
+        mean = entry["total_ps"] // max(1, entry["count"])
+        # Per-kind wait/service split across all segments: the diverging
+        # pair reads as "queueing (warm) vs doing work (cool)".
+        wait = sum(s["wait_ps"] for s in entry["segments"].values())
+        service = sum(s["service_ps"] for s in entry["segments"].values())
+        span = wait + service
+        mix = ""
+        if span:
+            wpct = 100.0 * wait / span
+            mix = (
+                '<span class="wf" style="width:160px">'
+                f'<span class="r" style="width:{wpct:.1f}%"></span>'
+                f'<span class="l" style="width:{100 - wpct:.1f}%;'
+                'margin-left:0;border-radius:0 4px 4px 0"></span></span>')
+        parts.append(
+            f"<tr><td><code>{_esc(key)}</code></td>"
+            f"<td class=num>{entry['count']}</td>"
+            f"<td class=num>{_fmt_ps(entry['p50_ps'])}</td>"
+            f"<td class=num>{_fmt_ps(entry['p90_ps'])}</td>"
+            f"<td class=num>{_fmt_ps(entry['p99_ps'])}</td>"
+            f"<td class=num>{_fmt_ps(mean)}</td>"
+            f"<td>{mix}</td></tr>")
+    parts.append("</table>")
+    if report.top:
+        slowest = report.top[-1]
+        parts.append(
+            f"<details><summary class=sub>slowest transaction: "
+            f"<code>{_esc(slowest['kind'])}</code> "
+            f"node{slowest['node']}→home{slowest['home']}, "
+            f"{_fmt_ps(slowest['latency_ps'])}</summary>"
+            "<table><tr><th>segment</th><th class=num>wait</th>"
+            "<th class=num>service</th></tr>")
+        for name, wait, service in slowest["segments"]:
+            parts.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f"<td class=num>{_fmt_ps(wait)}</td>"
+                f"<td class=num>{_fmt_ps(service)}</td></tr>")
+        parts.append(
+            f"<tr><td>residual</td><td class=num colspan=2>"
+            f"{slowest['residual_ps']} ps</td></tr></table></details>")
+    return parts
+
+
 def render_html(results: Sequence, ledger_records: Sequence = (),
                 title: str = "Validation dashboard",
                 bench_records: Sequence = ()) -> str:
@@ -550,6 +663,20 @@ def render_html(results: Sequence, ledger_records: Sequence = (),
             "sharer sets, and sampled queue occupancy</p>")
         for exp_id, owner, payload in topos:
             parts.extend(_html_topo_parts(exp_id, owner, payload))
+
+    txns = [(e, o, p) for e, o, p in attributions if _is_txn(p)]
+    if txns:
+        parts.append(
+            "<h2>Where does latency come from</h2>"
+            "<p class=legend>per-transaction anatomy from the txn "
+            "recorder: each memory transaction followed end-to-end, "
+            "segments summing exactly to its latency"
+            '<span class=swatch style="background:var(--pos)"></span>'
+            "queue wait"
+            '<span class=swatch style="background:var(--neg)"></span>'
+            "service</p>")
+        for exp_id, owner, payload in txns:
+            parts.extend(_html_txn_parts(exp_id, owner, payload))
 
     trends = [r for r in results if r.exp_id in TREND_EXPERIMENTS]
     if trends:

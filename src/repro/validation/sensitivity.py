@@ -84,3 +84,34 @@ def hotspot_evidence(
     with obs_topo.recording(recorder):
         result = request.execute()
     return build_report(recorder, result).to_dict()
+
+
+def txn_evidence(
+    config: SimulatorConfig,
+    workload,
+    n_cpus: int = 8,
+    scale: Optional[MachineScale] = None,
+    placement: str = Placement.FIRST_TOUCH,
+    top_k: Optional[int] = None,
+) -> dict:
+    """Latency-anatomy evidence: one run under the txn recorder, folded
+    into a TxnReport payload (``kind: "txn"``).
+
+    Where :func:`hotspot_evidence` shows *where* the traffic lands, this
+    shows *what each transaction spent its latency on*: per-kind
+    histograms (p50/p90/p99) plus the slowest-K critical paths, segments
+    summing exactly to end-to-end latency.  Attach the returned dict as
+    a Finding attribution and the dashboard renders it in "Where does
+    latency come from".
+
+    Runs outside the experiment farm for the same reason as above: the
+    anatomy is a side effect a cached RunResult cannot replay.
+    """
+    from repro.obs import txn as obs_txn
+
+    request = RunRequest(config, workload, n_cpus,
+                         scale or workload.scale, placement=placement)
+    recorder = obs_txn.TxnRecorder()
+    with obs_txn.recording(recorder):
+        result = request.execute()
+    return obs_txn.build_report(recorder, result, top_k=top_k).to_dict()

@@ -42,5 +42,13 @@ class HazardSoup:
         if tracer is not None:                          # must NOT fire
             tracer.record(when, "memsys", "txn")
 
+    def open_txn(self, node):
+        obs_hooks.txn.open(node, 0, "read")             # D3: txn via module
+
+    def open_txn_disciplined(self, node):
+        rec = obs_hooks.txn                             # sanctioned shape:
+        if rec is not None:                             # must NOT fire
+            rec.open(node, 0, "read")
+
     def ranked(self):
         return sorted(self.nodes, key=id)               # D4: id() ordering

@@ -6,10 +6,13 @@ experiments at ``REPRO_SCALE``: ``table1`` (machine geometry), the
 simulator-vs-hardware comparison), plus one differential-attribution
 waterfall (``attribution_fft_solo``: fft, hardware vs Solo, P=1), one
 spatial-hotspot report (``hotspot_ocean_hardware``: ocean on hardware,
-P=4, under the topo recorder), and one mid-run checkpoint
-(``ckpt_fft_hardware``: fft on hardware at half time -- manifest, stop
-record, and per-component state digests).  Any simulator change that
-shifts these numbers fails here with a field-by-field diff.
+P=4, under the topo recorder), one transaction-anatomy report
+(``txn_fft_hardware``: fft on hardware, P=4, under the txn recorder --
+per-kind latency histograms and the slowest-K segment lists), and one
+mid-run checkpoint (``ckpt_fft_hardware``: fft on hardware at half time
+-- manifest, stop record, and per-component state digests).  Any
+simulator change that shifts these numbers fails here with a
+field-by-field diff.
 
 If the drift is *intentional*, refresh the snapshots with::
 
@@ -125,6 +128,29 @@ class TestGoldenSnapshots:
                 pytrace=False)
 
     @pytest.mark.slow
+    def test_txn_snapshot(self):
+        """The fft-on-hardware latency anatomy is pinned end to end:
+        txn hooks, segment accounting, histogram fold, and top-K must
+        all be deterministic (integer picoseconds throughout)."""
+        golden_id = "txn_fft_hardware"
+        path = GOLDEN_DIR / f"{golden_id}.json"
+        assert path.exists(), \
+            f"missing snapshot {path}; generate with: {REFRESH}"
+        golden = json.loads(path.read_text())
+        live = refresh_goldens.txn_snapshot(golden_id)
+        drift = []
+        for key in sorted(set(golden) | set(live)):
+            if golden.get(key) != live.get(key):
+                drift.append(f"{key}: golden {golden.get(key)!r} != "
+                             f"live {live.get(key)!r}")
+        if drift:
+            pytest.fail(
+                f"{golden_id} drifted from its golden snapshot:\n"
+                + "\n".join(drift)
+                + f"\nIf this change is intentional, refresh with: {REFRESH}",
+                pytrace=False)
+
+    @pytest.mark.slow
     def test_ckpt_snapshot(self):
         """The fft-on-hardware checkpoint is pinned end to end: every
         component's ckpt_state schema and digest must be deterministic."""
@@ -151,6 +177,7 @@ class TestGoldenSnapshots:
         assert on_disk == (set(refresh_goldens.GOLDEN_IDS)
                            | set(refresh_goldens.ATTRIBUTION_IDS)
                            | set(refresh_goldens.HOTSPOT_IDS)
+                           | set(refresh_goldens.TXN_IDS)
                            | set(refresh_goldens.CKPT_IDS))
 
 
